@@ -1,0 +1,66 @@
+"""Shared driver for the Figure 5-8 benchmarks.
+
+Each figure's benchmark runs the n-task BOLD experiment on the
+SimGrid-MSG-like simulator, prints the wasted-time series (sub-figure b),
+the discrepancy and relative-discrepancy rows against the regenerated
+reference (sub-figures c and d), and asserts the figure's shape
+properties.  Run counts default to the laptop-scaled values of
+``DEFAULT_RUNS``; the paper used 1,000 runs on an HPC cluster.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.bold_experiments import (
+    compare_to_reference,
+    run_bold_experiment,
+)
+from repro.experiments.published import bold_reference_available
+from repro.experiments.report import series_table
+
+
+def run_figure(benchmark, n: int, runs: int | None, once):
+    result = once(
+        benchmark, run_bold_experiment, n, runs=runs, simulator="msg"
+    )
+    print()
+    print(
+        f"Figure for n={n:,}: average wasted time [s] over "
+        f"{result.runs} runs (paper: 1,000 runs)"
+    )
+    print(series_table(result.values, result.pe_counts, key_header="AWT\\PEs"))
+    benchmark.extra_info["runs"] = result.runs
+
+    if bold_reference_available():
+        rows = compare_to_reference(result)
+        print("\nDiscrepancy [s] (positive = MSG simulation slower):")
+        print(series_table(
+            {r.technique: list(r.discrepancies) for r in rows},
+            result.pe_counts,
+        ))
+        print("\nRelative discrepancy [%]:")
+        print(series_table(
+            {r.technique: list(r.relative_discrepancies) for r in rows},
+            result.pe_counts,
+        ))
+    else:  # pragma: no cover - reference ships with the repo
+        rows = []
+        print("(reference data not generated; discrepancies skipped)")
+    return result, rows
+
+
+def assert_common_shape(result):
+    """Shape properties common to Figures 5-8 (see EXPERIMENTS.md)."""
+    pe = result.pe_counts
+    # SS is overhead-bound: its wasted time tracks h*n/p.
+    for i, p in enumerate(pe):
+        expected = 0.5 * result.n / p
+        if expected > 20:  # overhead dominates idle noise
+            assert result.values["SS"][i] > 0.8 * expected
+    # SS is the worst technique at small PE counts.
+    at_p2 = {t: v[0] for t, v in result.values.items()}
+    assert at_p2["SS"] == max(at_p2.values())
+    # The factoring family beats STAT at p=2 under exponential imbalance.
+    assert at_p2["FAC2"] < at_p2["STAT"]
+    # Every value is positive.
+    for values in result.values.values():
+        assert all(v > 0 for v in values)

@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark suite.
+
+Every paper artifact (table/figure) has one benchmark module that
+regenerates its rows/series and prints them; pytest-benchmark measures
+the wall time of one full regeneration (``rounds=1`` — these are
+experiment harnesses, not microbenchmarks).  Run counts follow the
+laptop-scaled defaults of :mod:`repro.experiments.bold_experiments`;
+override with the ``REPRO_RUNS`` environment variable.  EXPERIMENTS.md
+records the settings used for the reported numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def env_runs(default: int) -> int:
+    """Benchmark replication count (REPRO_RUNS wins when set)."""
+    value = os.environ.get("REPRO_RUNS")
+    if value:
+        return max(1, int(value))
+    return default
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Measure exactly one execution of an experiment harness."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def print_series():
+    """Print a figure's series as an ASCII table (shown with -s)."""
+    from repro.experiments.report import series_table
+
+    def _print(title: str, series, keys, key_header="PEs"):
+        print()
+        print(title)
+        print(series_table(series, keys, key_header=key_header))
+
+    return _print

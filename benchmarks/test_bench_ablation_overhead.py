@@ -1,0 +1,59 @@
+"""Ablation — overhead accounting models (DESIGN.md §6).
+
+Compares the three models of where the scheduling overhead ``h`` is
+charged.  POST_HOC (the paper's accounting) and PER_WORKER agree on the
+*overhead* component by construction; SERIALIZED_MASTER additionally
+captures queueing at the master, so it reports strictly larger wasted
+times for fine-grained techniques at high PE counts.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.params import SchedulingParams
+from repro.core.registry import make_factory
+from repro.directsim import DirectSimulator, OverheadModel
+from repro.workloads import ExponentialWorkload
+
+PARAMS = SchedulingParams(n=4096, p=64, h=0.5, mu=1.0, sigma=1.0)
+
+
+def mean_awt(model: OverheadModel, technique="gss", runs=10) -> float:
+    sim = DirectSimulator(PARAMS, ExponentialWorkload(1.0),
+                          overhead_model=model)
+    return statistics.mean(
+        sim.run(make_factory(technique), seed=i).average_wasted_time
+        for i in range(runs)
+    )
+
+
+def test_bench_overhead_post_hoc(benchmark):
+    benchmark.extra_info["awt"] = benchmark(mean_awt, OverheadModel.POST_HOC)
+
+
+def test_bench_overhead_per_worker(benchmark):
+    benchmark.extra_info["awt"] = benchmark(mean_awt, OverheadModel.PER_WORKER)
+
+
+def test_bench_overhead_serialized(benchmark):
+    benchmark.extra_info["awt"] = benchmark(
+        mean_awt, OverheadModel.SERIALIZED_MASTER
+    )
+
+
+def test_serialized_master_dominates_for_fine_grained():
+    """Master contention punishes SS hardest (many tiny requests)."""
+    post = mean_awt(OverheadModel.POST_HOC, technique="ss", runs=3)
+    serialized = mean_awt(
+        OverheadModel.SERIALIZED_MASTER, technique="ss", runs=3
+    )
+    print(f"\nSS post-hoc={post:.1f}s  serialized={serialized:.1f}s")
+    assert serialized > post
+
+
+def test_post_hoc_and_per_worker_close_for_coarse():
+    """For STAT (one chunk per worker) the two accountings coincide."""
+    post = mean_awt(OverheadModel.POST_HOC, technique="stat", runs=5)
+    per = mean_awt(OverheadModel.PER_WORKER, technique="stat", runs=5)
+    assert abs(post - per) / post < 0.2

@@ -1,0 +1,41 @@
+"""Extension bench — the full-registry technique leaderboard.
+
+Every registered technique (22: the verified eight, CSS/WF/TAP, the
+adaptive family, the follow-on canon) measured on one exponential cell
+and ranked by average wasted time.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.all_techniques import (
+    all_techniques_report,
+    run_all_techniques,
+)
+
+from conftest import env_runs, once
+
+
+def test_bench_all_techniques(benchmark):
+    rows = once(benchmark, run_all_techniques, runs=env_runs(8))
+    print()
+    print("n=4096, p=16, h=0.1, exp(mu=1s):")
+    print(all_techniques_report(rows))
+
+    by_name = {r.name: r for r in rows}
+    order = [r.name for r in rows]
+    # The factoring family occupies the top of the leaderboard...
+    assert set(order[:5]) <= {"fac", "fac2", "bold", "awf", "awf-b",
+                              "awf-c", "awf-d", "awf-e", "wf", "af",
+                              "tap", "pls", "gss"}
+    # ...and the bottom belongs to the baselines: SS's per-task
+    # overhead, STAT/CSS's coarse imbalance, and the increase/random
+    # shapes that front-load too little work.
+    assert set(order[-4:]) <= {"ss", "stat", "css", "rnd", "viss", "fiss"}
+    # Sanity: every technique executed all work at a sane speedup.
+    for row in rows:
+        assert 0 < row.mean_speedup <= 16 + 1e-9
+    # STAT does fewest scheduling operations; SS the most.
+    assert by_name["stat"].mean_chunks == min(
+        r.mean_chunks for r in rows
+    )
+    assert by_name["ss"].mean_chunks == max(r.mean_chunks for r in rows)

@@ -1,0 +1,31 @@
+"""Extension bench — CSS(k) chunk-size tuning sweep.
+
+Reproduces the TSS publication's tuning claim quoted in the paper's
+Section IV-A: at (P, I, L(i)) = (72, 100000, 110 us), the chunk size
+k = I/P = 1389 achieves a speedup "very close to the ideal speedup, 72"
+(the original measured 69.2), while both much smaller and much larger k
+degrade sharply.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tss_experiments import run_css_k_sweep
+
+from conftest import once
+
+
+def test_bench_css_k_sweep(benchmark):
+    sweep = once(benchmark, run_css_k_sweep)
+    print()
+    print(f"{'k':>8} {'speedup':>9}")
+    for k, s in sweep.items():
+        marker = "  <- k = I/P (original: 69.2)" if k == 1389 else ""
+        print(f"{k:>8} {s:>9.2f}{marker}")
+
+    # The paper's anchor: k = I/P = 1389 is near-ideal on 72 PEs.
+    assert sweep[1389] > 65.0
+    # Tiny chunks degenerate towards SS (scheduling bound)...
+    assert sweep[1] < sweep[1389]
+    # ...huge chunks towards too-few-chunks imbalance.
+    assert sweep[20000] < 10.0
+    benchmark.extra_info["speedup_at_1389"] = sweep[1389]

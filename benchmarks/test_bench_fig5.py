@@ -1,0 +1,15 @@
+"""Figure 5 — BOLD experiment with 1,024 tasks (a-d sub-figures)."""
+
+from __future__ import annotations
+
+from bold_bench_common import assert_common_shape, run_figure
+from conftest import env_runs, once
+
+
+def test_bench_fig5(benchmark):
+    result, rows = run_figure(benchmark, 1024, env_runs(40), once)
+    assert_common_shape(result)
+    # All techniques converge at p = n (one task per PE).
+    at_pn = {t: v[-1] for t, v in result.values.items()}
+    spread = max(at_pn.values()) - min(at_pn.values())
+    assert spread < 0.2 * max(at_pn.values())

@@ -1,0 +1,17 @@
+"""Figure 6 — BOLD experiment with 8,192 tasks (a-d sub-figures)."""
+
+from __future__ import annotations
+
+from bold_bench_common import assert_common_shape, run_figure
+from conftest import env_runs, once
+
+
+def test_bench_fig6(benchmark):
+    result, rows = run_figure(benchmark, 8192, env_runs(12), once)
+    assert_common_shape(result)
+    # SS at p=2 is ~ h*n/p = 2048 s, an order of magnitude above all
+    # other techniques (the dominant line of Figure 6a/6b).
+    at_p2 = {t: v[0] for t, v in result.values.items()}
+    assert at_p2["SS"] > 1800
+    others = max(v for t, v in at_p2.items() if t != "SS")
+    assert at_p2["SS"] > 10 * others

@@ -1,0 +1,15 @@
+"""Figure 7 — BOLD experiment with 65,536 tasks (a-d sub-figures)."""
+
+from __future__ import annotations
+
+from bold_bench_common import assert_common_shape, run_figure
+from conftest import env_runs, once
+
+
+def test_bench_fig7(benchmark):
+    result, rows = run_figure(benchmark, 65536, env_runs(4), once)
+    assert_common_shape(result)
+    # FAC2 stays flat and low across the PE sweep (Figure 7's winner
+    # together with FAC/BOLD), while STAT grows with imbalance.
+    assert max(result.values["FAC2"]) < 40
+    assert max(result.values["STAT"]) > 40

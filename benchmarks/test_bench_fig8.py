@@ -1,0 +1,24 @@
+"""Figure 8 — BOLD experiment with 524,288 tasks (a-d sub-figures).
+
+The heaviest cell of the evaluation: SS alone performs 524,288
+scheduling operations per run.  The default of 2 replications keeps the
+benchmark tractable on a laptop; the reference side of the comparison
+was generated once with documented run counts (see
+``repro.experiments.published``).
+"""
+
+from __future__ import annotations
+
+from bold_bench_common import assert_common_shape, run_figure
+from conftest import env_runs, once
+
+
+def test_bench_fig8(benchmark):
+    result, rows = run_figure(benchmark, 524288, env_runs(2), once)
+    assert_common_shape(result)
+    # The paper's anchor: SS at p=2 has average wasted time 1.3e5 s.
+    ss_p2 = result.value("SS", 2)
+    assert abs(ss_p2 - 131072) / 131072 < 0.01
+    # SS spans the log axis up to ~1e5-1e6 while the factoring family
+    # stays below ~100 s — the four-decade spread of Figure 8a/8b.
+    assert max(result.values["FAC2"]) < 200

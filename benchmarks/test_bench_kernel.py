@@ -1,0 +1,84 @@
+"""Microbenchmarks — simulation kernel and chunk-formula throughput.
+
+Not paper artifacts, but the performance substrate everything above
+rests on: events/second of the DES kernel, chunk computations/second of
+each technique, and wall time per simulated run for both simulators.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import chunk_sizes
+from repro.core.params import SchedulingParams
+from repro.core.registry import create, make_factory
+from repro.directsim import DirectSimulator
+from repro.simgrid import MasterWorkerSimulation
+from repro.simgrid.engine import Engine, Timeout
+from repro.workloads import ExponentialWorkload
+
+
+def test_bench_engine_event_throughput(benchmark):
+    """Raw callback scheduling/dispatch rate."""
+
+    def run_events():
+        engine = Engine()
+        count = 20_000
+        for i in range(count):
+            engine.schedule(float(i), lambda: None)
+        engine.run()
+        return count
+
+    events = benchmark(run_events)
+    benchmark.extra_info["events"] = events
+
+
+def test_bench_engine_process_switching(benchmark):
+    """Generator-process context switch rate."""
+
+    def run_processes():
+        engine = Engine()
+
+        def proc():
+            for _ in range(500):
+                yield Timeout(1.0)
+
+        for _ in range(20):
+            engine.spawn(proc())
+        engine.run()
+
+    benchmark(run_processes)
+
+
+def test_bench_technique_chunk_throughput(benchmark):
+    """Chunk-size computations per second across the eight techniques."""
+    params = SchedulingParams(n=50_000, p=64, h=0.5, mu=1.0, sigma=1.0)
+
+    def drain_all():
+        total = 0
+        for name in ("stat", "fsc", "gss", "tss", "fac", "fac2", "bold"):
+            total += len(chunk_sizes(create(name, params)))
+        return total
+
+    chunks = benchmark(drain_all)
+    benchmark.extra_info["chunks"] = chunks
+
+
+def test_bench_direct_simulator_run(benchmark):
+    params = SchedulingParams(n=8192, p=64, h=0.5, mu=1.0, sigma=1.0)
+    sim = DirectSimulator(params, ExponentialWorkload(1.0))
+    benchmark(lambda: sim.run(make_factory("fac2"), seed=1))
+
+
+def test_bench_msg_simulator_run(benchmark):
+    params = SchedulingParams(n=8192, p=64, h=0.5, mu=1.0, sigma=1.0)
+    sim = MasterWorkerSimulation(params, ExponentialWorkload(1.0))
+    benchmark(lambda: sim.run(make_factory("fac2"), seed=1))
+
+
+def test_bench_ss_worst_case_direct(benchmark):
+    """SS is the chunk-count worst case: one event pair per task."""
+    params = SchedulingParams(n=16384, p=64, h=0.5, mu=1.0, sigma=1.0)
+    sim = DirectSimulator(params, ExponentialWorkload(1.0))
+    benchmark.pedantic(
+        lambda: sim.run(make_factory("ss"), seed=1),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )

@@ -1,0 +1,71 @@
+"""Extension bench — pre-execution prediction accuracy.
+
+The paper's future-work goal, measured: across a grid of (n, p, h)
+cells, does `recommend_technique` pick a technique whose *simulated*
+wasted time is within a small factor of the true best?
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.params import SchedulingParams
+from repro.core.prediction import predict_all, recommend_technique
+from repro.core.registry import make_factory
+from repro.directsim import DirectSimulator
+from repro.workloads import ExponentialWorkload
+
+from conftest import once
+
+CELLS = [
+    (1024, 8, 0.5),
+    (4096, 16, 0.1),
+    (8192, 8, 0.01),
+    (4096, 64, 1.0),
+    (16384, 32, 0.05),
+]
+TECHNIQUES = ("stat", "ss", "fsc", "gss", "tss", "fac", "fac2", "bold")
+
+
+def evaluate_prediction(runs=6):
+    rows = []
+    for n, p, h in CELLS:
+        params = SchedulingParams(n=n, p=p, h=h, mu=1.0, sigma=1.0)
+        sim = DirectSimulator(params, ExponentialWorkload(1.0))
+        measured = {}
+        for name in TECHNIQUES:
+            measured[name] = statistics.mean(
+                sim.run(make_factory(name), seed=i).average_wasted_time
+                for i in range(runs)
+            )
+        best_measured = min(measured, key=measured.get)
+        picked = recommend_technique(params, TECHNIQUES)
+        picked_name = picked.technique.lower()
+        regret = measured[picked_name] / measured[best_measured]
+        rows.append((n, p, h, picked_name, best_measured, regret))
+    return rows
+
+
+def test_bench_prediction_accuracy(benchmark):
+    rows = once(benchmark, evaluate_prediction)
+    print()
+    print(f"{'n':>7} {'p':>5} {'h':>6} {'picked':>8} {'best':>8} {'regret':>7}")
+    for n, p, h, picked, best, regret in rows:
+        print(f"{n:>7} {p:>5} {h:>6} {picked:>8} {best:>8} {regret:>6.2f}x")
+
+    # The recommendation is never catastrophic: within 2.5x of the true
+    # best on every cell (usually much closer)...
+    assert all(regret < 2.5 for *_, regret in rows)
+    # ...and the geometric-mean regret is small.
+    gm = statistics.geometric_mean([r for *_, r in rows])
+    print(f"geometric-mean regret: {gm:.2f}x")
+    assert gm < 1.6
+
+
+def test_prediction_never_picks_ss_under_overhead():
+    for n, p, h in CELLS:
+        if h <= 0:
+            continue
+        params = SchedulingParams(n=n, p=p, h=h, mu=1.0, sigma=1.0)
+        ranked = predict_all(params, TECHNIQUES)
+        assert ranked[0].technique != "SS"

@@ -1,0 +1,106 @@
+"""Extension benches — resilience and flexibility of the DLS techniques.
+
+Not artifacts of the reproduced paper itself, but of its companion
+studies that the paper builds on: flexibility under fluctuating load
+(ref [2], IPDPS-W 2013) and resilience to PE failures (ref [3], ISPDC
+2015).  The paper's conclusion — "the scalability, flexibility, and
+resilience of the DLS techniques were investigated to a certain extent
+in earlier work" — motivates keeping these scenarios runnable here.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.params import SchedulingParams
+from repro.core.registry import make_factory
+from repro.directsim import (
+    DirectSimulator,
+    FailStop,
+    LognormalFluctuation,
+)
+from repro.workloads import ExponentialWorkload
+
+TECHNIQUES = ("stat", "gss", "tss", "fac2", "bold")
+PARAMS = SchedulingParams(n=4096, p=8, h=0.05, mu=1.0, sigma=1.0)
+
+
+def resilience_table(runs=5):
+    """Makespan degradation when one PE dies a quarter into the run."""
+    workload = ExponentialWorkload(1.0)
+    base_makespan = {}
+    failed_makespan = {}
+    lost = {}
+    for name in TECHNIQUES:
+        base = DirectSimulator(PARAMS, workload)
+        # One PE dies at ~25% of the fault-free makespan.
+        fail_at = 0.25 * PARAMS.n * PARAMS.mu / PARAMS.p
+        faulty = DirectSimulator(
+            PARAMS, workload, failures=FailStop({0: fail_at})
+        )
+        base_makespan[name] = statistics.mean(
+            base.run(make_factory(name), seed=i).makespan
+            for i in range(runs)
+        )
+        results = [faulty.run(make_factory(name), seed=i) for i in range(runs)]
+        failed_makespan[name] = statistics.mean(r.makespan for r in results)
+        lost[name] = statistics.mean(
+            r.extras["lost_tasks"] for r in results
+        )
+    return base_makespan, failed_makespan, lost
+
+
+def test_bench_resilience_failstop(benchmark):
+    base, failed, lost = benchmark.pedantic(
+        resilience_table, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(f"{'technique':>10} {'healthy':>9} {'1 PE dies':>10} "
+          f"{'slowdown':>9} {'lost tasks':>11}")
+    for name in TECHNIQUES:
+        slowdown = failed[name] / base[name]
+        print(
+            f"{name.upper():>10} {base[name]:>9.1f} {failed[name]:>10.1f} "
+            f"{slowdown:>9.2f} {lost[name]:>11.1f}"
+        )
+    # Coarse static chunks lose the most work to a failure.
+    assert lost["stat"] >= max(lost["fac2"], lost["bold"])
+    # Every technique still completes all work.
+    for name in TECHNIQUES:
+        assert failed[name] > base[name]
+
+
+def flexibility_table(runs=5):
+    """Wasted time versus load-fluctuation intensity (sigma of the
+    per-chunk lognormal speed noise)."""
+    workload = ExponentialWorkload(1.0)
+    table: dict[str, list[float]] = {name: [] for name in TECHNIQUES}
+    sigmas = (0.0, 0.25, 0.5, 1.0)
+    for sigma in sigmas:
+        fluct = LognormalFluctuation(sigma) if sigma else None
+        for name in TECHNIQUES:
+            sim = DirectSimulator(PARAMS, workload, fluctuation=fluct)
+            awt = statistics.mean(
+                sim.run(make_factory(name), seed=i).average_wasted_time
+                for i in range(runs)
+            )
+            table[name].append(awt)
+    return sigmas, table
+
+
+def test_bench_flexibility_fluctuating_load(benchmark):
+    sigmas, table = benchmark.pedantic(
+        flexibility_table, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    header = f"{'technique':>10}" + "".join(f"  s={s:<5}" for s in sigmas)
+    print(header)
+    for name, values in table.items():
+        print(f"{name.upper():>10}" + "".join(f" {v:>7.2f}" for v in values))
+    # Fluctuation hurts everyone...
+    for name in TECHNIQUES:
+        assert table[name][-1] > table[name][0]
+    # ...and the coarse static chunks waste the most time at every
+    # intensity (FAC2's frequent rebalancing absorbs the noise).
+    for i in range(len(sigmas)):
+        assert table["stat"][i] > table["fac2"][i]

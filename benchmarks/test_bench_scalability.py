@@ -1,0 +1,38 @@
+"""Extension bench — scalability of the DLS techniques (ref [1]).
+
+Strong and weak scaling sweeps on the direct simulator, mirroring the
+study the paper cites as the first application of the verified
+implementation (Balasubramaniam et al., IPDPS-W 2012).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scalability import efficiency_report, run_scaling_study
+
+from conftest import once
+
+
+def test_bench_strong_scaling(benchmark):
+    result = once(benchmark, run_scaling_study, "strong")
+    print()
+    print(efficiency_report(result))
+    # Under strong scaling every technique's efficiency decays with p...
+    for technique, effs in result.efficiency.items():
+        assert effs[0] > effs[-1], technique
+    # ...and SS decays catastrophically (overhead per task is fixed).
+    assert result.efficiency["ss"][-1] < 0.2
+    # The factoring family stays the most efficient at scale.
+    top = max(result.efficiency, key=lambda t: result.efficiency[t][-1])
+    assert top in ("fac2", "bold", "tss", "gss")
+
+
+def test_bench_weak_scaling(benchmark):
+    result = once(benchmark, run_scaling_study, "weak")
+    print()
+    print(efficiency_report(result))
+    # Weak scaling holds efficiency for the batched techniques...
+    assert result.efficiency["fac2"][-1] > 0.8
+    assert result.efficiency["gss"][-1] > 0.8
+    # ...while SS still collapses: its per-task master contention does
+    # not amortise no matter how the problem grows.
+    assert result.efficiency["ss"][-1] < 0.3

@@ -1,0 +1,27 @@
+"""Table II — required parameters per DLS technique.
+
+Regenerates the parameter-requirements matrix from the implementation and
+checks it against the published table.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import (
+    format_table2,
+    table2_matches_publication,
+)
+
+from conftest import once
+
+
+def test_bench_table2(benchmark):
+    def regenerate():
+        text = format_table2()
+        matches = table2_matches_publication()
+        return text, matches
+
+    text, matches = once(benchmark, regenerate)
+    print()
+    print(text)
+    assert all(matches.values()), matches
+    benchmark.extra_info["matches_publication"] = all(matches.values())

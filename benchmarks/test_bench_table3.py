@@ -1,0 +1,15 @@
+"""Table III — overview of the reproducibility experiments."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import format_table3
+
+from conftest import once
+
+
+def test_bench_table3(benchmark):
+    text = once(benchmark, format_table3)
+    print()
+    print(text)
+    for fragment in ("1,024", "8,192", "65,536", "524,288", "Figure 8"):
+        assert fragment in text

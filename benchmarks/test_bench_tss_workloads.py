@@ -1,0 +1,30 @@
+"""Extension bench — TSS experiment across workload shapes.
+
+The TSS publication also measured random, decreasing and increasing
+loops (its Section VI); Figures 3/4 of the reproduced paper only carry
+the constant-workload experiments, so this sweep is an extension: it
+regenerates the qualitative finding that TSS/CSS stay near-ideal across
+shapes while GSS-style decreasing chunks suffer on decreasing loops.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tss_experiments import run_tss_workload_study
+
+from conftest import once
+
+
+def test_bench_tss_workload_shapes(benchmark):
+    table = once(benchmark, run_tss_workload_study, 2, p=32)
+    print()
+    techniques = list(next(iter(table.values())))
+    print(f"{'shape':>12}" + "".join(f"{t:>10}" for t in techniques))
+    for shape, row in table.items():
+        print(f"{shape:>12}" + "".join(f"{row[t]:>10.2f}" for t in row))
+
+    # TSS stays near-ideal on every shape.
+    for shape in table:
+        assert table[shape]["TSS"] > 0.85 * 32
+    # The decreasing loop punishes the single big up-front chunk of CSS
+    # (k = n/p puts the longest iterations in one chunk) more than TSS.
+    assert table["decreasing"]["TSS"] >= table["decreasing"]["CSS"]

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Resilience of DLS techniques to PE failures — ref [3]'s scenario.
+
+A PE dies a quarter of the way into the run.  Its in-flight chunk is
+lost; the scheduler requeues the tasks and the surviving PEs absorb
+them.  The chunk granularity decides the damage: STAT loses an entire
+p-th of the loop, the factoring family loses one small chunk.  The
+schedule is rendered as an ASCII Gantt chart so the lost work and the
+redistribution are visible.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from __future__ import annotations
+
+from repro import SchedulingParams, create
+from repro.directsim import DirectSimulator, FailStop
+from repro.simgrid import ascii_gantt
+from repro.workloads import ConstantWorkload
+
+N, P = 120, 4
+FAIL_AT = 8.0   # worker 0 dies at t=8 (healthy makespan is ~30)
+
+
+def main() -> None:
+    params = SchedulingParams(n=N, p=P, h=0.0, mu=1.0, sigma=0.0)
+    workload = ConstantWorkload(1.0)
+
+    print(
+        f"{N} tasks of 1 s on {P} PEs; worker 0 dies at t={FAIL_AT:.0f}s\n"
+    )
+    for name in ("stat", "fac2"):
+        healthy_sim = DirectSimulator(params, workload, record_chunks=True)
+        healthy = healthy_sim.run(lambda p, nm=name: create(nm, p), seed=0)
+        faulty_sim = DirectSimulator(
+            params, workload, record_chunks=True,
+            failures=FailStop({0: FAIL_AT}),
+        )
+        faulty = faulty_sim.run(lambda p, nm=name: create(nm, p), seed=0)
+
+        print("=" * 78)
+        print(
+            f"{faulty.technique}: healthy makespan {healthy.makespan:.1f}s"
+            f" -> with failure {faulty.makespan:.1f}s "
+            f"({faulty.makespan / healthy.makespan:.2f}x), "
+            f"{faulty.extras['lost_tasks']} tasks lost and re-executed"
+        )
+        print(ascii_gantt(faulty, width=66))
+        print()
+
+    print(
+        "STAT's dead worker takes a whole 30-task chunk down with it;\n"
+        "FAC2 loses one small chunk and the survivors re-balance —\n"
+        "fine-grained dynamic scheduling is inherently more resilient."
+    )
+
+
+if __name__ == "__main__":
+    main()

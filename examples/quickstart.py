@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: schedule a parallel loop with different DLS techniques.
+
+Simulates 2,000 exponentially-distributed loop iterations on 8 PEs with
+a 10 ms scheduling overhead, first on the Hagerup-style direct simulator
+and then on the SimGrid-MSG-like master-worker simulator, and prints the
+metrics the paper reports.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SchedulingParams, create
+from repro.directsim import DirectSimulator
+from repro.simgrid import MasterWorkerSimulation
+from repro.workloads import ExponentialWorkload
+
+
+def main() -> None:
+    params = SchedulingParams(n=2000, p=8, h=0.01, mu=1.0, sigma=1.0)
+    workload = ExponentialWorkload(mean=1.0)
+
+    print(f"{params.n} tasks, {params.p} PEs, exp(mu=1s), h={params.h}s\n")
+    header = (
+        f"{'technique':>10} {'chunks':>7} {'makespan':>9} "
+        f"{'speedup':>8} {'wasted[s]':>10}"
+    )
+
+    print("Direct (Hagerup-style) simulator:")
+    print(header)
+    sim = DirectSimulator(params, workload)
+    for name in ("stat", "ss", "gss", "tss", "fac2", "bold"):
+        result = sim.run(lambda p, nm=name: create(nm, p), seed=42)
+        print(
+            f"{result.technique:>10} {result.num_chunks:>7} "
+            f"{result.makespan:>9.2f} {result.speedup:>8.2f} "
+            f"{result.average_wasted_time:>10.2f}"
+        )
+
+    print("\nSimGrid-MSG-like master-worker simulator (free network):")
+    print(header)
+    msg_sim = MasterWorkerSimulation(params, workload)
+    for name in ("stat", "ss", "gss", "tss", "fac2", "bold"):
+        result = msg_sim.run(lambda p, nm=name: create(nm, p), seed=42)
+        print(
+            f"{result.technique:>10} {result.num_chunks:>7} "
+            f"{result.makespan:>9.2f} {result.speedup:>8.2f} "
+            f"{result.average_wasted_time:>10.2f}"
+        )
+
+    print(
+        "\nBoth simulators agree on the free network — the paper's "
+        "verification-via-reproducibility in one screen."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""DLS on the paper's motivating scientific applications.
+
+The introduction cites Monte Carlo simulations, N-body simulations and
+wave packet simulations as the applications DLS balanced in practice.
+This example builds synthetic models of all of them (plus the classic
+Mandelbrot loop), quantifies each one's irregularity, and compares
+STAT / GSS / FAC / AF on every model — showing that the more irregular
+the application, the more the variance-aware techniques win.
+
+Run:  python examples/scientific_applications.py
+"""
+
+from __future__ import annotations
+
+from repro import SchedulingParams, create
+from repro.apps import (
+    ClusteredNBody,
+    MandelbrotRows,
+    MonteCarloHistories,
+    WavePacket,
+)
+from repro.directsim import DirectSimulator
+
+P = 8
+TECHNIQUES = ("stat", "gss", "fac", "af")
+
+MODELS = [
+    MandelbrotRows(width=96, height=256, max_iter=120),
+    ClusteredNBody(n_bodies=30_000, grid=16, cluster_std=0.04),
+    MonteCarloHistories(n_tasks=1024, splitting_probability=0.02),
+    WavePacket(n_tasks=512, peak_factor=60.0),
+]
+
+
+def main() -> None:
+    print(f"{P} PEs; makespan [s] per technique (lower is better)\n")
+    header = (
+        f"{'application':>12} {'tasks':>6} {'imbal.':>7}"
+        + "".join(f"{t.upper():>9}" for t in TECHNIQUES)
+        + "   best"
+    )
+    print(header)
+    for model in MODELS:
+        workload = model.workload()
+        params = SchedulingParams(
+            n=model.n_tasks, p=P, h=0.0,
+            mu=workload.mean, sigma=workload.std,
+        )
+        sim = DirectSimulator(params, workload)
+        row = (
+            f"{model.name:>12} {model.n_tasks:>6} "
+            f"{model.imbalance_factor():>6.1f}x"
+        )
+        best, best_v = None, float("inf")
+        for name in TECHNIQUES:
+            makespan = sim.run(lambda p, nm=name: create(nm, p), seed=0).makespan
+            row += f"{makespan:>9.3f}"
+            if makespan < best_v:
+                best, best_v = name, makespan
+        serial = workload.times.sum()
+        print(row + f"   {best.upper()} (speedup {serial / best_v:.2f})")
+
+    print(
+        "\nThe Mandelbrot interior rows, the N-body cluster cells and the"
+        "\nwave packet's hot blocks are exactly the workload spikes STAT"
+        "\ncannot absorb — the dynamic techniques schedule around them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Time-stepping application with AWF — the N-body scenario.
+
+AWF was originally developed for time-stepping scientific applications
+(the paper cites N-body simulations among the DLS success stories): the
+same loop is scheduled every step, PE speeds drift (background load,
+thermal throttling), and AWF re-weights between steps by "closely
+following the rate of change in PE speed after each time step".
+
+This example drives :class:`AdaptiveWeightedFactoring` through 12 time
+steps of an N-body-like force loop on 4 PEs whose speeds change halfway
+through the run, and compares the per-step makespan against oblivious
+FAC2 and against an oracle WF that is re-told the true speeds each step.
+
+Run:  python examples/timestepping_nbody.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SchedulingParams, create, weights_from_speeds
+from repro.core.registry import get_technique
+from repro.directsim import DirectSimulator
+from repro.workloads import GammaWorkload
+
+N_BODIES_CHUNKS = 2000       # tasks per time step (one per body group)
+STEPS = 12
+PHASE_1 = [2.0, 1.0, 1.0, 1.0]   # PE speeds, steps 0-5
+PHASE_2 = [0.5, 1.0, 1.0, 2.0]   # PE 0 throttles, PE 3 frees up
+
+
+def speeds_at(step: int) -> list[float]:
+    return PHASE_1 if step < STEPS // 2 else PHASE_2
+
+
+def run_step(scheduler, speeds, seed) -> float:
+    """Simulate one time step; returns its makespan."""
+    params = scheduler.params
+    workload = GammaWorkload(shape=4.0, scale=0.25)  # mildly irregular
+    sim = DirectSimulator(params, workload, speeds=speeds)
+    return sim.run(scheduler, seed=seed).makespan
+
+
+def main() -> None:
+    params = SchedulingParams(n=N_BODIES_CHUNKS, p=4, h=0.0)
+
+    awf = create("awf", params)
+    print(f"{'step':>4} {'speeds':>22} {'AWF':>8} {'FAC2':>8} {'WF*':>8}")
+    totals = {"awf": 0.0, "fac2": 0.0, "wf": 0.0}
+    for step in range(STEPS):
+        speeds = speeds_at(step)
+        # AWF: one persistent scheduler, re-armed between steps.
+        if step > 0:
+            awf.start_timestep()
+        t_awf = run_step(awf, speeds, seed=100 + step)
+        # FAC2: fresh and oblivious each step.
+        t_fac2 = run_step(create("fac2", params), speeds, seed=100 + step)
+        # Oracle WF: told the *current* true speeds every step.
+        wf_params = params.with_updates(
+            mu=1.0, sigma=0.5, weights=weights_from_speeds(speeds)
+        )
+        t_wf = run_step(
+            get_technique("wf")(wf_params), speeds, seed=100 + step
+        )
+        totals["awf"] += t_awf
+        totals["fac2"] += t_fac2
+        totals["wf"] += t_wf
+        print(
+            f"{step:>4} {str(speeds):>22} {t_awf:>8.1f} {t_fac2:>8.1f} "
+            f"{t_wf:>8.1f}"
+        )
+
+    print(
+        f"\ntotal simulated time over {STEPS} steps: "
+        f"AWF={totals['awf']:.1f}s  FAC2={totals['fac2']:.1f}s  "
+        f"oracle-WF={totals['wf']:.1f}s"
+    )
+    print("AWF pays to learn in step 0 and again after the speed change,")
+    print("then tracks the oracle — without ever being told the speeds.")
+    final_weights = np.array(awf.current_weights())
+    print(f"final AWF weights: {np.round(final_weights, 2)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Technique ranking across workload distributions.
+
+The paper stresses that simulation "provides the opportunity to capture
+any probability distribution of the task execution times".  This example
+sweeps the eight BOLD-publication techniques over six distributions —
+constant, uniform, exponential, gamma (heavy-ish tail), bimodal and
+linearly decreasing (Tzen & Ni's irregular loop) — and prints the
+average wasted time of each, showing how the ranking shifts with
+variability.
+
+Run:  python examples/workload_distributions.py
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro import SchedulingParams, create
+from repro.directsim import DirectSimulator
+from repro.workloads import (
+    BimodalWorkload,
+    ConstantWorkload,
+    ExponentialWorkload,
+    GammaWorkload,
+    UniformWorkload,
+    decreasing_workload,
+)
+
+N, P, H, RUNS = 4096, 16, 0.1, 10
+TECHNIQUES = ("stat", "ss", "fsc", "gss", "tss", "fac", "fac2", "bold")
+
+WORKLOADS = {
+    "constant": ConstantWorkload(1.0),
+    "uniform": UniformWorkload(0.5, 1.5),
+    "exponential": ExponentialWorkload(1.0),
+    "gamma(k=0.5)": GammaWorkload(0.5, 2.0),          # cv = sqrt(2)
+    "bimodal": BimodalWorkload(0.25, 4.0, p_fast=0.8),
+    "decreasing": decreasing_workload(N, 2.0, 0.01),
+}
+
+
+def main() -> None:
+    print(
+        f"average wasted time [s], n={N}, p={P}, h={H}, {RUNS} runs "
+        f"(lower is better)\n"
+    )
+    header = f"{'workload':>14}" + "".join(f"{t.upper():>8}" for t in TECHNIQUES)
+    print(header)
+    for wname, workload in WORKLOADS.items():
+        # sigma = 0 is meaningful: FSC/FAC degrade to even shares.
+        params = SchedulingParams(
+            n=N, p=P, h=H, mu=workload.mean, sigma=workload.std
+        )
+        sim = DirectSimulator(params, workload)
+        row = f"{wname:>14}"
+        best, best_v = None, float("inf")
+        for t in TECHNIQUES:
+            awt = statistics.mean(
+                sim.run(lambda pr, nm=t: create(nm, pr), seed=i)
+                .average_wasted_time
+                for i in range(RUNS)
+            )
+            row += f"{awt:>8.2f}"
+            if awt < best_v:
+                best, best_v = t, awt
+        print(row + f"   <- best: {best.upper()}")
+
+    print(
+        "\nSTAT wins when tasks are regular (no imbalance to fix);"
+        "\nthe factoring family and BOLD win as variability grows;"
+        "\nSS pays its per-task overhead everywhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Run the full reproduction campaign and write a plain-text report.
+
+Thin wrapper around :func:`repro.experiments.campaign.run_full_campaign`
+(see that module for the run-count defaults).  The output of this script
+is the source of the numbers in EXPERIMENTS.md.
+
+Usage:  python scripts/run_campaign.py [output-file]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments.campaign import run_full_campaign
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1:
+        out_path = Path(sys.argv[1])
+        with out_path.open("w") as fh:
+            run_full_campaign(out=fh)
+        print(f"wrote {out_path}")
+    else:
+        run_full_campaign()

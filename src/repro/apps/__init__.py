@@ -1,0 +1,16 @@
+"""Synthetic scientific application models (the paper's motivating apps)."""
+
+from .base import ApplicationModel
+from .mandelbrot import MandelbrotRows, escape_counts
+from .montecarlo import MonteCarloHistories
+from .nbody import ClusteredNBody
+from .wavepacket import WavePacket
+
+__all__ = [
+    "ApplicationModel",
+    "ClusteredNBody",
+    "MandelbrotRows",
+    "MonteCarloHistories",
+    "WavePacket",
+    "escape_counts",
+]

@@ -1,0 +1,58 @@
+"""Application models: synthetic scientific workloads.
+
+The paper motivates DLS with real applications — "Monte Carlo
+simulations, radar signal processing, N-body simulations, computational
+fluid dynamics on unstructured grids, or wave packet simulations".  The
+models in this package are the closest synthetic equivalents that
+exercise the same scheduling behaviour (see DESIGN.md §3): each produces
+per-task execution times, possibly evolving over time steps, which feed
+the simulators through :class:`~repro.workloads.distributions.TraceWorkload`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..workloads.distributions import TraceWorkload
+
+
+class ApplicationModel(ABC):
+    """A source of per-task execution times, evolving over time steps."""
+
+    #: short identifier, e.g. "mandelbrot"
+    name: str = ""
+
+    @property
+    @abstractmethod
+    def n_tasks(self) -> int:
+        """Number of tasks per time step."""
+
+    @abstractmethod
+    def task_times(self, step: int = 0,
+                   rng: np.random.Generator | None = None) -> np.ndarray:
+        """Execution times (seconds) of the ``n_tasks`` tasks at ``step``."""
+
+    def workload(self, step: int = 0,
+                 rng: np.random.Generator | None = None) -> TraceWorkload:
+        """The step's task times wrapped as a replayable trace workload."""
+        return TraceWorkload(self.task_times(step, rng))
+
+    def imbalance_factor(self, step: int = 0,
+                         rng: np.random.Generator | None = None) -> float:
+        """Max over mean task time — a quick measure of irregularity."""
+        times = self.task_times(step, rng)
+        mean = float(times.mean())
+        if mean <= 0:
+            return 1.0
+        return float(times.max()) / mean
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} n_tasks={self.n_tasks}>"
+
+
+def require_positive(value: float, name: str) -> float:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value

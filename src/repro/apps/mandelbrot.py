@@ -1,0 +1,101 @@
+"""Mandelbrot row workload — the canonical irregular parallel loop.
+
+Task ``i`` renders image row ``i``; its cost is the *actual* sum of
+escape-time iterations over the row's pixels, computed here with the
+standard ``z <- z^2 + c`` recurrence (vectorised).  Rows crossing the
+set's interior iterate to ``max_iter`` per pixel while exterior rows
+escape quickly — producing the strongly non-uniform, spatially
+correlated task times that motivated dynamic loop scheduling in fractal
+and ray-tracing codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ApplicationModel, require_positive
+
+
+def escape_counts(
+    re_coords: np.ndarray,
+    im_coords: np.ndarray,
+    max_iter: int,
+) -> np.ndarray:
+    """Escape iteration counts for the complex grid rows x columns."""
+    c = re_coords[np.newaxis, :] + 1j * im_coords[:, np.newaxis]
+    z = np.zeros_like(c)
+    counts = np.zeros(c.shape, dtype=np.int64)
+    active = np.ones(c.shape, dtype=bool)
+    for _ in range(max_iter):
+        z[active] = z[active] ** 2 + c[active]
+        escaped = active & (np.abs(z) > 2.0)
+        active &= ~escaped
+        counts[active] += 1
+        if not active.any():
+            break
+    return counts
+
+
+class MandelbrotRows(ApplicationModel):
+    """One task per image row of a Mandelbrot rendering.
+
+    Parameters
+    ----------
+    width, height:
+        Image resolution; ``height`` is the task count.
+    max_iter:
+        Iteration cap (interior pixels cost this much).
+    center, scale:
+        Complex-plane window: ``center`` ± ``scale`` on the real axis
+        (imaginary axis scaled by the aspect ratio).
+    time_per_iteration:
+        Seconds of simulated compute per escape iteration.
+    """
+
+    name = "mandelbrot"
+
+    def __init__(
+        self,
+        width: int = 256,
+        height: int = 256,
+        max_iter: int = 100,
+        center: complex = -0.5 + 0.0j,
+        scale: float = 1.5,
+        time_per_iteration: float = 1e-6,
+    ):
+        if width < 1 or height < 1:
+            raise ValueError("width and height must be >= 1")
+        if max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        require_positive(scale, "scale")
+        require_positive(time_per_iteration, "time_per_iteration")
+        self.width = width
+        self.height = height
+        self.max_iter = max_iter
+        self.center = center
+        self.scale = scale
+        self.time_per_iteration = time_per_iteration
+        self._cache: np.ndarray | None = None
+
+    @property
+    def n_tasks(self) -> int:
+        return self.height
+
+    def _row_iterations(self) -> np.ndarray:
+        if self._cache is None:
+            aspect = self.height / self.width
+            re = self.center.real + np.linspace(
+                -self.scale, self.scale, self.width
+            )
+            im = self.center.imag + np.linspace(
+                -self.scale * aspect, self.scale * aspect, self.height
+            )
+            counts = escape_counts(re, im, self.max_iter)
+            self._cache = counts.sum(axis=1)
+        return self._cache
+
+    def task_times(self, step: int = 0, rng=None) -> np.ndarray:
+        # The rendering is deterministic; steps do not change it.
+        iterations = self._row_iterations()
+        # Every pixel costs at least one arithmetic evaluation.
+        return (iterations + self.width) * self.time_per_iteration

@@ -1,0 +1,72 @@
+"""Monte Carlo particle-history workload — heavy-tailed task times.
+
+A task tracks a batch of particle histories; each history scatters a
+geometrically distributed number of times before absorption, so a batch's
+cost is a sum of geometric variates — mildly heavy-tailed, with rare
+batches dominated by long histories.  Models the Monte Carlo transport
+codes the paper's introduction cites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ApplicationModel, require_positive
+
+
+class MonteCarloHistories(ApplicationModel):
+    """One task per batch of particle histories."""
+
+    name = "montecarlo"
+
+    def __init__(
+        self,
+        n_tasks: int = 2048,
+        histories_per_task: int = 100,
+        absorption_probability: float = 0.05,
+        time_per_event: float = 2e-6,
+        splitting_probability: float = 0.01,
+        max_split_factor: int = 50,
+        seed: int = 0,
+    ):
+        if n_tasks < 1:
+            raise ValueError("n_tasks must be >= 1")
+        if histories_per_task < 1:
+            raise ValueError("histories_per_task must be >= 1")
+        if not 0.0 < absorption_probability <= 1.0:
+            raise ValueError("absorption_probability must be in (0, 1]")
+        if not 0.0 <= splitting_probability < 1.0:
+            raise ValueError("splitting_probability must be in [0, 1)")
+        if max_split_factor < 1:
+            raise ValueError("max_split_factor must be >= 1")
+        require_positive(time_per_event, "time_per_event")
+        self._n_tasks = n_tasks
+        self.histories_per_task = histories_per_task
+        self.absorption_probability = absorption_probability
+        self.time_per_event = time_per_event
+        self.splitting_probability = splitting_probability
+        self.max_split_factor = max_split_factor
+        self.seed = seed
+
+    @property
+    def n_tasks(self) -> int:
+        return self._n_tasks
+
+    def task_times(self, step: int = 0, rng=None) -> np.ndarray:
+        if rng is None:
+            rng = np.random.default_rng(
+                np.random.SeedSequence([self.seed, step])
+            )
+        # Events per history: geometric (number of scatters + absorption).
+        events = rng.geometric(
+            self.absorption_probability,
+            size=(self._n_tasks, self.histories_per_task),
+        ).sum(axis=1).astype(np.float64)
+        # Rare variance-reduction splitting events multiply a batch's
+        # work — the heavy tail.
+        split_mask = rng.random(self._n_tasks) < self.splitting_probability
+        factors = rng.integers(
+            2, self.max_split_factor + 1, size=self._n_tasks
+        )
+        events[split_mask] *= factors[split_mask]
+        return events * self.time_per_event

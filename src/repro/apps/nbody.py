@@ -1,0 +1,97 @@
+"""Clustered N-body workload — spatially correlated, drifting load.
+
+Bodies live in a unit square, drawn from a mixture of Gaussian clusters
+that drift over time steps.  A task is one cell of a regular spatial
+grid; its cost models a direct-sum force evaluation restricted to a
+neighbourhood: ``cost ∝ n_cell * n_neighbourhood``.  Dense clusters make
+some cells orders of magnitude more expensive, and the drift moves that
+imbalance across tasks between steps — the scenario AWF was built for
+(Banicescu & Hummel's N-body experiments are among the paper's cited
+DLS applications).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ApplicationModel, require_positive
+
+
+class ClusteredNBody(ApplicationModel):
+    """One task per spatial grid cell of a clustered particle set."""
+
+    name = "nbody"
+
+    def __init__(
+        self,
+        n_bodies: int = 20_000,
+        grid: int = 16,
+        clusters: int = 3,
+        cluster_std: float = 0.06,
+        background_fraction: float = 0.2,
+        drift: float = 0.04,
+        time_per_interaction: float = 1e-7,
+        seed: int = 0,
+    ):
+        if n_bodies < 1:
+            raise ValueError("n_bodies must be >= 1")
+        if grid < 1:
+            raise ValueError("grid must be >= 1")
+        if clusters < 1:
+            raise ValueError("clusters must be >= 1")
+        if not 0.0 <= background_fraction <= 1.0:
+            raise ValueError("background_fraction must be in [0, 1]")
+        require_positive(cluster_std, "cluster_std")
+        require_positive(time_per_interaction, "time_per_interaction")
+        self.n_bodies = n_bodies
+        self.grid = grid
+        self.clusters = clusters
+        self.cluster_std = cluster_std
+        self.background_fraction = background_fraction
+        self.drift = drift
+        self.time_per_interaction = time_per_interaction
+        init_rng = np.random.default_rng(seed)
+        self._centers = init_rng.random((clusters, 2))
+        self._velocities = init_rng.normal(0.0, 1.0, (clusters, 2))
+        norms = np.linalg.norm(self._velocities, axis=1, keepdims=True)
+        self._velocities = self._velocities / np.maximum(norms, 1e-12)
+        self._body_seed = int(init_rng.integers(0, 2**31 - 1))
+
+    @property
+    def n_tasks(self) -> int:
+        return self.grid * self.grid
+
+    def positions(self, step: int = 0) -> np.ndarray:
+        """Body positions at a time step (clusters drift, wrap around)."""
+        centers = (self._centers + step * self.drift * self._velocities) % 1.0
+        rng = np.random.default_rng(self._body_seed)
+        n_bg = int(self.n_bodies * self.background_fraction)
+        n_clustered = self.n_bodies - n_bg
+        counts = np.full(self.clusters, n_clustered // self.clusters)
+        counts[: n_clustered % self.clusters] += 1
+        parts = [rng.random((n_bg, 2))]
+        for center, count in zip(centers, counts):
+            parts.append(
+                (rng.normal(center, self.cluster_std, (count, 2))) % 1.0
+            )
+        return np.vstack(parts)
+
+    def cell_counts(self, step: int = 0) -> np.ndarray:
+        """Bodies per grid cell, flattened row-major."""
+        pos = self.positions(step)
+        idx = np.clip((pos * self.grid).astype(int), 0, self.grid - 1)
+        flat = idx[:, 0] * self.grid + idx[:, 1]
+        return np.bincount(flat, minlength=self.n_tasks)
+
+    def task_times(self, step: int = 0, rng=None) -> np.ndarray:
+        counts = self.cell_counts(step).astype(np.float64)
+        # Neighbourhood population: 3x3 stencil with wrap-around.
+        grid = counts.reshape(self.grid, self.grid)
+        neighbourhood = np.zeros_like(grid)
+        for di in (-1, 0, 1):
+            for dj in (-1, 0, 1):
+                neighbourhood += np.roll(np.roll(grid, di, 0), dj, 1)
+        cost = grid * neighbourhood
+        # Every cell pays a small traversal cost even when empty.
+        cost += 1.0
+        return (cost * self.time_per_interaction).ravel()

@@ -1,0 +1,98 @@
+"""Wave packet workload — a moving hot region over a discretised domain.
+
+Models the adaptive quantum trajectory method the paper cites
+(Cariño et al., "Parallel adaptive quantum trajectory method for
+wavepacket simulations"): a Gaussian packet travels across a 1-D grid;
+the task for a grid block costs more where the packet's density (and
+hence the local trajectory count) is high.  Between time steps the hot
+region *moves*, so a static partition that was balanced at step 0 is
+wrong a few steps later — the time-stepping AWF scenario.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import ApplicationModel, require_positive
+
+
+class WavePacket(ApplicationModel):
+    """One task per grid block under a travelling Gaussian packet."""
+
+    name = "wavepacket"
+
+    def __init__(
+        self,
+        n_tasks: int = 1024,
+        base_time: float = 1e-4,
+        peak_factor: float = 50.0,
+        packet_width: float = 0.05,
+        velocity: float = 0.02,
+        start_position: float = 0.1,
+        dispersion: float = 0.002,
+        noise: float = 0.05,
+        seed: int = 0,
+    ):
+        if n_tasks < 1:
+            raise ValueError("n_tasks must be >= 1")
+        require_positive(base_time, "base_time")
+        if peak_factor < 0:
+            raise ValueError("peak_factor must be >= 0")
+        require_positive(packet_width, "packet_width")
+        if noise < 0:
+            raise ValueError("noise must be >= 0")
+        self._n_tasks = n_tasks
+        self.base_time = base_time
+        self.peak_factor = peak_factor
+        self.packet_width = packet_width
+        self.velocity = velocity
+        self.start_position = start_position
+        self.dispersion = dispersion
+        self.noise = noise
+        self.seed = seed
+
+    @property
+    def n_tasks(self) -> int:
+        return self._n_tasks
+
+    def packet_center(self, step: int) -> float:
+        """Packet position at a step (reflecting off the domain ends)."""
+        x = self.start_position + step * self.velocity
+        # Reflect into [0, 1] (triangle wave).
+        period, phase = divmod(x, 1.0)
+        return phase if int(period) % 2 == 0 else 1.0 - phase
+
+    def packet_sigma(self, step: int) -> float:
+        """Packet width at a step (dispersion broadens it)."""
+        return self.packet_width + self.dispersion * step
+
+    def task_times(self, step: int = 0, rng=None) -> np.ndarray:
+        xs = (np.arange(self._n_tasks) + 0.5) / self._n_tasks
+        center = self.packet_center(step)
+        sigma = self.packet_sigma(step)
+        density = np.exp(-((xs - center) ** 2) / (2.0 * sigma**2))
+        # Trajectory count scales with density; normalise the peak so the
+        # hottest block costs peak_factor * base_time.
+        times = self.base_time * (1.0 + self.peak_factor * density)
+        if self.noise > 0:
+            if rng is None:
+                rng = np.random.default_rng(
+                    np.random.SeedSequence([self.seed, step])
+                )
+            times = times * np.exp(
+                rng.normal(
+                    -self.noise**2 / 2.0, self.noise, size=self._n_tasks
+                )
+            )
+        return times
+
+    def hot_block(self, step: int) -> int:
+        """Index of the most expensive task at a step."""
+        return int(
+            min(
+                self._n_tasks - 1,
+                math.floor(self.packet_center(step) * self._n_tasks),
+            )
+        )

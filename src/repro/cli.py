@@ -1,0 +1,366 @@
+"""Command-line interface: ``repro-dls`` / ``python -m repro``.
+
+Subcommands::
+
+    repro-dls list                         # the paper's artifacts
+    repro-dls run fig5 --runs 10           # regenerate one artifact
+    repro-dls techniques                   # registered DLS techniques
+    repro-dls schedule --technique gss --n 1000 --p 4
+    repro-dls simulate --technique fac2 --n 4096 --p 16 --dist exponential
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import __version__
+from .core.base import chunk_sizes
+from .core.params import SchedulingParams
+from .core.registry import get_technique, iter_techniques
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dls",
+        description=(
+            "Dynamic loop scheduling techniques, verified via "
+            "reproducibility (Hoffeins, Ciorba & Banicescu 2017)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the paper's reproducible artifacts")
+
+    run = sub.add_parser("run", help="regenerate one artifact")
+    run.add_argument("experiment", help="experiment id, e.g. fig5 or table2")
+    run.add_argument("--runs", type=int, default=None,
+                     help="replications (default: experiment-specific)")
+    run.add_argument("--simulator", choices=("msg", "direct"), default=None,
+                     help="simulator backend for the BOLD experiments")
+    run.add_argument("--seed", type=int, default=None, help="campaign seed")
+
+    sub.add_parser("techniques", help="list DLS techniques and requirements")
+
+    sched = sub.add_parser(
+        "schedule", help="print the chunk sizes a technique produces"
+    )
+    sched.add_argument("--technique", required=True)
+    sched.add_argument("--n", type=int, required=True, help="number of tasks")
+    sched.add_argument("--p", type=int, required=True, help="number of PEs")
+    sched.add_argument("--h", type=float, default=0.0)
+    sched.add_argument("--mu", type=float, default=1.0)
+    sched.add_argument("--sigma", type=float, default=1.0)
+    sched.add_argument("--min-chunk", type=int, default=1)
+    sched.add_argument("--chunk-size", type=int, default=None)
+
+    simu = sub.add_parser(
+        "simulate", help="simulate one run and print its metrics"
+    )
+    simu.add_argument("--technique", required=True)
+    simu.add_argument("--n", type=int, required=True)
+    simu.add_argument("--p", type=int, required=True)
+    simu.add_argument("--h", type=float, default=0.0)
+    simu.add_argument(
+        "--dist",
+        choices=("constant", "exponential", "uniform", "gamma"),
+        default="exponential",
+    )
+    simu.add_argument("--mean", type=float, default=1.0)
+    simu.add_argument("--runs", type=int, default=1)
+    simu.add_argument("--seed", type=int, default=0)
+    simu.add_argument("--simulator", choices=("msg", "direct"), default="msg")
+
+    rec = sub.add_parser(
+        "recommend",
+        help="predict the best technique for a problem, prior to execution",
+    )
+    rec.add_argument("--n", type=int, required=True)
+    rec.add_argument("--p", type=int, required=True)
+    rec.add_argument("--h", type=float, default=0.0)
+    rec.add_argument("--mu", type=float, default=1.0)
+    rec.add_argument("--sigma", type=float, default=1.0)
+
+    campaign = sub.add_parser(
+        "campaign", help="run the full reproduction campaign"
+    )
+    campaign.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    campaign.add_argument(
+        "--quick", action="store_true",
+        help="drastically reduced run counts (smoke-test scale)",
+    )
+
+    files = sub.add_parser(
+        "simulate-files",
+        help="run from SimGrid-style platform + deployment XML files",
+    )
+    files.add_argument("platform", help="platform XML file")
+    files.add_argument("deployment", help="deployment XML file")
+    files.add_argument("--technique", required=True)
+    files.add_argument("--n", type=int, required=True)
+    files.add_argument("--h", type=float, default=0.0)
+    files.add_argument(
+        "--dist", choices=("constant", "exponential", "uniform", "gamma"),
+        default="exponential",
+    )
+    files.add_argument("--mean", type=float, default=1.0)
+    files.add_argument("--seed", type=int, default=0)
+
+    gantt = sub.add_parser(
+        "gantt", help="render a run's chunk schedule as an ASCII Gantt chart"
+    )
+    gantt.add_argument("--technique", required=True)
+    gantt.add_argument("--n", type=int, required=True)
+    gantt.add_argument("--p", type=int, required=True)
+    gantt.add_argument("--h", type=float, default=0.0)
+    gantt.add_argument(
+        "--dist", choices=("constant", "exponential", "uniform", "gamma"),
+        default="exponential",
+    )
+    gantt.add_argument("--mean", type=float, default=1.0)
+    gantt.add_argument("--seed", type=int, default=0)
+    gantt.add_argument("--width", type=int, default=72)
+    gantt.add_argument(
+        "--paje", metavar="FILE", default=None,
+        help="additionally export a Paje trace to FILE",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from .experiments.descriptors import EXPERIMENTS
+
+    for exp in EXPERIMENTS.values():
+        print(f"{exp.id:8s} {exp.paper_artifact:10s} {exp.description}")
+    return 0
+
+
+#: which CLI knobs each experiment's runner accepts
+_RUN_KNOBS: dict[str, frozenset[str]] = {
+    "table2": frozenset(),
+    "table3": frozenset(),
+    "fig3": frozenset({"seed"}),
+    "fig4": frozenset({"seed"}),
+    "fig5": frozenset({"runs", "simulator", "seed"}),
+    "fig6": frozenset({"runs", "simulator", "seed"}),
+    "fig7": frozenset({"runs", "simulator", "seed"}),
+    "fig8": frozenset({"runs", "simulator", "seed"}),
+    "fig9": frozenset({"runs", "simulator", "seed"}),
+    "scalability": frozenset({"runs", "seed"}),
+    "css-sweep": frozenset({"seed"}),
+    "tss-shapes": frozenset({"seed"}),
+    "remote-ratio": frozenset({"seed"}),
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiments.descriptors import get_experiment
+
+    kwargs: dict = {}
+    if args.runs is not None:
+        kwargs["runs"] = args.runs
+    if args.simulator is not None:
+        kwargs["simulator"] = args.simulator
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    exp = get_experiment(args.experiment)
+    allowed = _RUN_KNOBS.get(args.experiment, frozenset())
+    kwargs = {k: v for k, v in kwargs.items() if k in allowed}
+    print(exp.run(**kwargs))
+    return 0
+
+
+def _cmd_techniques() -> int:
+    from .core.base import PARAM_SYMBOLS
+
+    print(f"{'name':8s} {'label':8s} {'adaptive':8s} requires")
+    for cls in iter_techniques():
+        req = ", ".join(s for s in PARAM_SYMBOLS if s in cls.requires) or "-"
+        print(f"{cls.name:8s} {cls.label:8s} {str(cls.adaptive):8s} {req}")
+    return 0
+
+
+def _params_from_args(args: argparse.Namespace) -> SchedulingParams:
+    return SchedulingParams(
+        n=args.n,
+        p=args.p,
+        h=args.h,
+        mu=getattr(args, "mu", None) or getattr(args, "mean", 1.0),
+        sigma=getattr(args, "sigma", None) or getattr(args, "mean", 1.0),
+        min_chunk=getattr(args, "min_chunk", 1),
+        chunk_size=getattr(args, "chunk_size", None),
+    )
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    params = _params_from_args(args)
+    scheduler = get_technique(args.technique)(params)
+    sizes = chunk_sizes(scheduler)
+    print(f"{scheduler.label}: {len(sizes)} chunks, sum={sum(sizes)}")
+    print(" ".join(map(str, sizes)))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import statistics
+
+    from .directsim import DirectSimulator
+    from .simgrid import MasterWorkerSimulation
+    from .workloads import (
+        ConstantWorkload,
+        ExponentialWorkload,
+        GammaWorkload,
+        UniformWorkload,
+    )
+
+    params = _params_from_args(args)
+    workload = {
+        "constant": lambda: ConstantWorkload(args.mean),
+        "exponential": lambda: ExponentialWorkload(args.mean),
+        "uniform": lambda: UniformWorkload(0.0, 2 * args.mean),
+        "gamma": lambda: GammaWorkload(2.0, args.mean / 2.0),
+    }[args.dist]()
+    factory = lambda p: get_technique(args.technique)(p)
+    if args.simulator == "direct":
+        sim = DirectSimulator(params, workload)
+    else:
+        sim = MasterWorkerSimulation(params, workload)
+    results = [sim.run(factory, seed=args.seed + i) for i in range(args.runs)]
+    awt = [r.average_wasted_time for r in results]
+    sp = [r.speedup for r in results]
+    print(
+        f"{results[0].technique} on {args.simulator}: "
+        f"n={args.n}, p={args.p}, {args.runs} run(s)"
+    )
+    print(f"  makespan           : {statistics.mean(r.makespan for r in results):.4f} s")
+    print(f"  avg wasted time    : {statistics.mean(awt):.4f} s")
+    print(f"  speedup            : {statistics.mean(sp):.3f} (ideal {args.p})")
+    print(f"  scheduling chunks  : {statistics.mean(r.num_chunks for r in results):.1f}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from .core.prediction import prediction_report, recommend_technique
+
+    params = SchedulingParams(
+        n=args.n, p=args.p, h=args.h, mu=args.mu, sigma=args.sigma
+    )
+    print(prediction_report(params))
+    best = recommend_technique(params)
+    print(
+        f"\nrecommended: {best.technique} "
+        f"(predicted wasted time {best.predicted_wasted_time:.2f} s)"
+    )
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .experiments.campaign import run_full_campaign
+
+    kwargs: dict = {}
+    if args.quick:
+        kwargs["campaign_runs"] = {1024: 5, 8192: 3}
+        kwargs["fig9_runs"] = 50
+        kwargs["include_tss"] = False
+    if args.out:
+        with open(args.out, "w") as fh:
+            run_full_campaign(out=fh, **kwargs)
+        print(f"wrote {args.out}")
+    else:
+        run_full_campaign(**kwargs)
+    return 0
+
+
+def _cmd_simulate_files(args: argparse.Namespace) -> int:
+    from .simgrid.app import ApplicationConfig, run_from_files
+    from .workloads import (
+        ConstantWorkload,
+        ExponentialWorkload,
+        GammaWorkload,
+        UniformWorkload,
+    )
+
+    workload = {
+        "constant": lambda: ConstantWorkload(args.mean),
+        "exponential": lambda: ExponentialWorkload(args.mean),
+        "uniform": lambda: UniformWorkload(0.0, 2 * args.mean),
+        "gamma": lambda: GammaWorkload(2.0, args.mean / 2.0),
+    }[args.dist]()
+    app = ApplicationConfig(
+        technique=args.technique, n=args.n, workload=workload, h=args.h
+    )
+    result = run_from_files(
+        args.platform, args.deployment, app, seed=args.seed
+    )
+    print(
+        f"{result.technique}: p={result.p} (from deployment), n={result.n}"
+    )
+    print(f"  makespan        : {result.makespan:.4f} s")
+    print(f"  avg wasted time : {result.average_wasted_time:.4f} s")
+    print(f"  speedup         : {result.speedup:.3f} (ideal {result.p})")
+    print(f"  chunks          : {result.num_chunks}")
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from .directsim import DirectSimulator
+    from .simgrid.visualization import (
+        ascii_gantt,
+        save_paje_trace,
+        utilization_summary,
+    )
+    from .workloads import (
+        ConstantWorkload,
+        ExponentialWorkload,
+        GammaWorkload,
+        UniformWorkload,
+    )
+
+    params = _params_from_args(args)
+    workload = {
+        "constant": lambda: ConstantWorkload(args.mean),
+        "exponential": lambda: ExponentialWorkload(args.mean),
+        "uniform": lambda: UniformWorkload(0.0, 2 * args.mean),
+        "gamma": lambda: GammaWorkload(2.0, args.mean / 2.0),
+    }[args.dist]()
+    sim = DirectSimulator(params, workload, record_chunks=True)
+    result = sim.run(get_technique(args.technique), seed=args.seed)
+    print(ascii_gantt(result, width=args.width))
+    print()
+    print(utilization_summary(result))
+    if args.paje:
+        save_paje_trace(result, args.paje)
+        print(f"\nwrote Paje trace: {args.paje}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "techniques":
+        return _cmd_techniques()
+    if args.command == "schedule":
+        return _cmd_schedule(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "recommend":
+        return _cmd_recommend(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "simulate-files":
+        return _cmd_simulate_files(args)
+    if args.command == "gantt":
+        return _cmd_gantt(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

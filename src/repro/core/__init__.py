@@ -1,0 +1,37 @@
+"""Core DLS scheduling: parameters, scheduler protocol, technique registry."""
+
+from .params import SchedulingParams, weights_from_speeds
+from .base import ChunkRecord, Scheduler, SchedulerState, chunk_sizes
+from .prediction import (
+    Prediction,
+    predict,
+    predict_all,
+    prediction_report,
+    recommend_technique,
+)
+from .registry import (
+    create,
+    get_technique,
+    iter_techniques,
+    make_factory,
+    technique_names,
+)
+
+__all__ = [
+    "Prediction",
+    "SchedulingParams",
+    "predict",
+    "predict_all",
+    "prediction_report",
+    "recommend_technique",
+    "weights_from_speeds",
+    "ChunkRecord",
+    "Scheduler",
+    "SchedulerState",
+    "chunk_sizes",
+    "create",
+    "get_technique",
+    "iter_techniques",
+    "make_factory",
+    "technique_names",
+]

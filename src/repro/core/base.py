@@ -1,0 +1,262 @@
+"""Scheduler base class and chunk bookkeeping.
+
+Every DLS technique is a small mutable object created per run.  The master
+(real or simulated) calls :meth:`Scheduler.next_chunk` whenever a worker
+requests work, and — for adaptive techniques — feeds back measured execution
+times through :meth:`Scheduler.record_finished`.
+
+The split between the abstract :meth:`Scheduler._chunk_size` (the published
+chunk-size formula) and the concrete :meth:`Scheduler.next_chunk` (clipping
+against the remaining tasks, bookkeeping of ``r`` and ``m``) keeps each
+technique module focused on its formula.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from .params import SchedulingParams
+
+#: Parameter symbols of Table I, used by :attr:`Scheduler.requires`.
+PARAM_SYMBOLS = ("p", "n", "r", "h", "mu", "sigma", "f", "l", "m")
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """One scheduling operation: ``size`` tasks assigned to ``worker``.
+
+    ``index`` counts scheduling operations from 0; ``start`` is the index of
+    the first task in the chunk (tasks are assigned in order).
+    """
+
+    index: int
+    worker: int
+    start: int
+    size: int
+
+
+@dataclass
+class SchedulerState:
+    """Mutable run-time state shared by all techniques (Table I's r and m)."""
+
+    remaining: int          # r — tasks not yet assigned
+    outstanding: int = 0    # tasks assigned but not yet reported finished
+    scheduled_chunks: int = 0
+
+    @property
+    def in_flight_plus_remaining(self) -> int:
+        """Table I's ``m``: remaining and under-execution tasks."""
+        return self.remaining + self.outstanding
+
+
+class Scheduler(ABC):
+    """Abstract base for all DLS techniques.
+
+    Class attributes
+    ----------------
+    name:
+        Canonical lowercase identifier, e.g. ``"gss"``.
+    label:
+        Display label as used in the paper's figures, e.g. ``"GSS"``.
+    requires:
+        Frozen set of Table I symbols the technique needs (Table II of the
+        paper).  ``p`` and ``n`` are always available; listing them here
+        documents that the chunk formula actually uses them.
+    adaptive:
+        True for techniques that change behaviour based on measured
+        execution times (AWF family, AF).
+    """
+
+    name: ClassVar[str] = ""
+    label: ClassVar[str] = ""
+    requires: ClassVar[frozenset[str]] = frozenset()
+    adaptive: ClassVar[bool] = False
+
+    def __init__(self, params: SchedulingParams):
+        self.params = params
+        self.state = SchedulerState(remaining=params.n)
+        self._chunks: list[ChunkRecord] = []
+        self._next_task = 0
+        # Task regions returned by requeue_chunk (fault injection); they
+        # are handed out again before any fresh tasks.
+        self._requeued: list[tuple[int, int]] = []
+        self.validate_params()
+
+    # -- parameter validation -------------------------------------------
+    def validate_params(self) -> None:
+        """Check that every required optional parameter is present."""
+        p = self.params
+        missing = []
+        if "h" in self.requires and p.h is None:
+            missing.append("h")
+        if "mu" in self.requires and p.mu is None:
+            missing.append("mu")
+        if "sigma" in self.requires and p.sigma is None:
+            missing.append("sigma")
+        if missing:
+            raise ValueError(
+                f"{self.label or type(self).__name__} requires parameters "
+                f"{missing} (see Table II of the paper)"
+            )
+
+    # -- the public scheduling interface --------------------------------
+    def next_chunk(self, worker: int) -> int:
+        """Assign the next chunk to ``worker``; return its size (0 = done).
+
+        The returned size is the technique's chunk-size formula clipped to
+        the number of remaining tasks, and never negative.
+        """
+        if self.state.remaining <= 0:
+            return 0
+        size = self._chunk_size(worker)
+        size = max(0, min(int(size), self.state.remaining))
+        if size == 0 and self.state.remaining > 0:
+            # A technique must make progress while work remains.
+            size = 1
+        if self._requeued:
+            # Re-issue a lost region first (possibly splitting it).
+            start, region = self._requeued.pop()
+            if size < region:
+                self._requeued.append((start + size, region - size))
+            else:
+                size = region
+        else:
+            start = self._next_task
+            self._next_task += size
+        record = ChunkRecord(
+            index=self.state.scheduled_chunks,
+            worker=worker,
+            start=start,
+            size=size,
+        )
+        self._chunks.append(record)
+        self.state.remaining -= size
+        self.state.outstanding += size
+        self.state.scheduled_chunks += 1
+        self._after_assignment(record)
+        return size
+
+    def record_finished(
+        self,
+        worker: int,
+        size: int,
+        elapsed: float,
+    ) -> None:
+        """Report that ``worker`` finished a chunk of ``size`` tasks.
+
+        ``elapsed`` is the measured wall time of the chunk (excluding the
+        scheduling overhead unless the technique's variant dictates
+        otherwise — see the AWF-D/E modules).  Non-adaptive techniques only
+        use this to maintain ``m``.
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if size > self.state.outstanding:
+            raise ValueError(
+                f"reported {size} finished tasks but only "
+                f"{self.state.outstanding} are outstanding"
+            )
+        self.state.outstanding -= size
+        self._after_completion(worker, size, elapsed)
+
+    def requeue_chunk(self, record: ChunkRecord) -> None:
+        """Return a lost chunk's tasks to the pool (fault injection).
+
+        Used when the PE executing a chunk fails: the chunk's task region
+        re-enters the pool and will be re-issued before fresh tasks, so
+        position-dependent workloads re-execute the same tasks.  The
+        re-issued tasks appear in new :class:`ChunkRecord` entries, so the
+        *sum* of all assigned chunk sizes exceeds ``n`` by the amount of
+        lost work.
+        """
+        if record.size <= 0:
+            return
+        if record.size > self.state.outstanding:
+            raise ValueError(
+                f"cannot requeue {record.size} tasks; only "
+                f"{self.state.outstanding} are outstanding"
+            )
+        self.state.outstanding -= record.size
+        self.state.remaining += record.size
+        self._requeued.append((record.start, record.size))
+
+    @property
+    def done(self) -> bool:
+        """True once every task has been assigned."""
+        return self.state.remaining == 0
+
+    @property
+    def chunks(self) -> list[ChunkRecord]:
+        """All scheduling operations so far, in assignment order."""
+        return list(self._chunks)
+
+    @property
+    def last_chunk(self) -> ChunkRecord | None:
+        """The most recently assigned chunk (None before any assignment)."""
+        return self._chunks[-1] if self._chunks else None
+
+    @property
+    def num_scheduling_operations(self) -> int:
+        """Number of chunks assigned so far (the paper's overhead count)."""
+        return self.state.scheduled_chunks
+
+    # -- hooks for subclasses -------------------------------------------
+    @abstractmethod
+    def _chunk_size(self, worker: int) -> int:
+        """The technique's chunk-size formula (before clipping)."""
+
+    def _after_assignment(self, record: ChunkRecord) -> None:
+        """Hook invoked after a chunk is assigned (batch bookkeeping)."""
+
+    def _after_completion(self, worker: int, size: int, elapsed: float) -> None:
+        """Hook invoked after a chunk completion report (adaptivity)."""
+
+    # -- helpers ----------------------------------------------------------
+    @staticmethod
+    def _ceil_div(a: int, b: int) -> int:
+        return -(-a // b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} n={self.params.n} p={self.params.p} "
+            f"remaining={self.state.remaining}>"
+        )
+
+
+def chunk_sizes(scheduler: Scheduler, round_robin: bool = True) -> list[int]:
+    """Drain ``scheduler`` with round-robin worker requests; return sizes.
+
+    A convenience used by tests, docs and Table II generation: it assumes
+    workers request work in cyclic order, which matches the behaviour of the
+    techniques whose chunk size does not depend on *which* worker asks.
+    """
+    sizes: list[int] = []
+    worker = 0
+    p = scheduler.params.p
+    mu = scheduler.params.mu or 1.0
+    while not scheduler.done:
+        size = scheduler.next_chunk(worker)
+        if size == 0:
+            break
+        sizes.append(size)
+        # Feed back an idealised elapsed time so adaptive techniques can
+        # be drained too.
+        scheduler.record_finished(worker, size, elapsed=size * mu)
+        if round_robin:
+            worker = (worker + 1) % p
+    return sizes
+
+
+def expected_chunks_upper_bound(n: int, p: int) -> int:
+    """A safe upper bound on scheduling operations for sanity checks."""
+    return max(n, p) + p
+
+
+def positive_finite(x: float, name: str) -> float:
+    """Validate that ``x`` is positive and finite; return it."""
+    if not math.isfinite(x) or x <= 0:
+        raise ValueError(f"{name} must be positive and finite, got {x}")
+    return x

@@ -1,0 +1,138 @@
+"""Scheduling parameters shared by all DLS techniques.
+
+The parameter names follow Table I of Hoffeins, Ciorba & Banicescu (2017):
+
+====== =====================================================
+symbol meaning
+====== =====================================================
+``p``  number of processing elements (PEs)
+``n``  number of tasks
+``r``  number of remaining tasks (run-time quantity)
+``h``  scheduling overhead per scheduling operation [s]
+``mu`` mean of the task execution times [s]
+``sigma`` standard deviation of the task execution times [s]
+``f``  first chunk size (TSS)
+``l``  last chunk size (TSS)
+``m``  number of remaining *and* under-execution tasks
+====== =====================================================
+
+``r`` and ``m`` are run-time quantities maintained by the scheduler itself;
+everything else is static input collected in :class:`SchedulingParams`.
+
+Note on ``sigma``: Table I of the paper labels it "variance", but the
+experiments use ``sigma = 1 s`` alongside ``mu = 1 s`` for an exponential
+distribution, i.e. the *standard deviation*.  All formulas in this package
+interpret ``sigma`` as the standard deviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SchedulingParams:
+    """Static inputs for a scheduling run.
+
+    Only ``n`` and ``p`` are mandatory; each technique validates that the
+    optional parameters it requires are present (see
+    :attr:`repro.core.base.Scheduler.requires`).
+
+    Parameters
+    ----------
+    n:
+        Total number of tasks (loop iterations) to schedule.
+    p:
+        Number of processing elements.
+    h:
+        Scheduling overhead per scheduling operation, in seconds.
+    mu:
+        Mean task execution time, in seconds.
+    sigma:
+        Standard deviation of the task execution times, in seconds.
+    first_chunk, last_chunk:
+        TSS ``f`` and ``l``.  When omitted, TSS uses the defaults of
+        Tzen & Ni (1993): ``f = ceil(n / (2 p))`` and ``l = 1``.
+    chunk_size:
+        Fixed chunk size ``k`` for CSS(k).  When omitted, CSS uses
+        ``ceil(n / p)`` as in the TSS publication's experiments.
+    min_chunk:
+        Minimum chunk size for GSS(k); 1 recovers plain GSS.
+    weights:
+        Relative PE speeds for weighted factoring (WF); normalised
+        internally so only ratios matter.
+    alpha:
+        Confidence multiplier for the taper (TAP) technique; Lucco (1992)
+        recommends values around 1.3.
+    """
+
+    n: int
+    p: int
+    h: float = 0.0
+    mu: float | None = None
+    sigma: float | None = None
+    first_chunk: int | None = None
+    last_chunk: int | None = None
+    chunk_size: int | None = None
+    min_chunk: int = 1
+    weights: tuple[float, ...] | None = None
+    alpha: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise ValueError(f"n must be non-negative, got {self.n}")
+        if self.p < 1:
+            raise ValueError(f"p must be >= 1, got {self.p}")
+        if self.h < 0:
+            raise ValueError(f"h must be non-negative, got {self.h}")
+        if self.mu is not None and self.mu <= 0:
+            raise ValueError(f"mu must be positive when given, got {self.mu}")
+        if self.sigma is not None and self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+        if self.min_chunk < 1:
+            raise ValueError(f"min_chunk must be >= 1, got {self.min_chunk}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.first_chunk is not None and self.first_chunk < 1:
+            raise ValueError("first_chunk must be >= 1 when given")
+        if self.last_chunk is not None and self.last_chunk < 1:
+            raise ValueError("last_chunk must be >= 1 when given")
+        if self.weights is not None:
+            if len(self.weights) != self.p:
+                raise ValueError(
+                    f"weights must have one entry per PE "
+                    f"({self.p}), got {len(self.weights)}"
+                )
+            if any(w <= 0 for w in self.weights):
+                raise ValueError("weights must all be positive")
+            # Dataclass is frozen: normalise via object.__setattr__.
+            total = float(sum(self.weights))
+            object.__setattr__(
+                self, "weights", tuple(w / total for w in self.weights)
+            )
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+
+    def with_updates(self, **changes) -> "SchedulingParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @staticmethod
+    def uniform_weights(p: int) -> tuple[float, ...]:
+        """Equal weights for ``p`` PEs (a homogeneous system)."""
+        return tuple(1.0 / p for _ in range(p))
+
+
+def weights_from_speeds(speeds: Sequence[float]) -> tuple[float, ...]:
+    """Convert absolute PE speeds into normalised WF weights.
+
+    Faster PEs receive proportionally larger weights, as in
+    Hummel et al. (1996).
+    """
+    if not speeds:
+        raise ValueError("speeds must be non-empty")
+    if any(s <= 0 for s in speeds):
+        raise ValueError("speeds must all be positive")
+    total = float(sum(speeds))
+    return tuple(s / total for s in speeds)

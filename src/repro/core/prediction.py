@@ -1,0 +1,155 @@
+"""Pre-execution performance prediction — the paper's future-work goal.
+
+The paper's conclusion: "The present work lays the foundation for
+modeling the overhead of the DLS techniques, with the goal to identify
+the technique with lowest overhead and overall best performance for a
+given application and system, prior to execution."  This module
+implements that model on top of the verified implementations:
+
+* the *overhead* term is exact: the non-adaptive techniques' chunk
+  sequences are deterministic functions of ``(n, p, h, mu, sigma)``, so
+  the number of scheduling operations ``C`` — and hence the average
+  per-PE overhead ``h * C / p`` — can be computed by draining the
+  scheduler without simulating time;
+* the *imbalance* term uses the classic order-statistics estimate for
+  the terminal imbalance: the expected gap behind the last-finishing PE
+  is roughly ``sigma * sqrt(2 * k_tail * ln p)``, with ``k_tail`` the
+  average size of the final round of chunks (one per PE);
+* for the fine-grained end (SS-like), the imbalance floor is half an
+  average task.
+
+Absolute values are estimates; the *ranking* is what matters, and it is
+validated against simulation in ``tests/test_prediction.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .base import Scheduler, chunk_sizes
+from .params import SchedulingParams
+from .registry import get_technique
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Predicted cost decomposition of one technique on one problem."""
+
+    technique: str
+    num_chunks: int
+    overhead_time: float      # h * C / p — exact for the run's accounting
+    imbalance_time: float     # order-statistics estimate
+    largest_chunk: int
+    tail_chunk: float         # average size of the final p chunks
+
+    @property
+    def predicted_wasted_time(self) -> float:
+        """Overhead plus terminal imbalance — the paper's metric."""
+        return self.overhead_time + self.imbalance_time
+
+
+def predict(technique: str, params: SchedulingParams, **kwargs) -> Prediction:
+    """Predict a technique's wasted time prior to execution.
+
+    Adaptive techniques are predicted through their idealised chunk
+    sequence (feedback equal to the mean), which is what
+    :func:`repro.core.base.chunk_sizes` produces.
+    """
+    cls = get_technique(technique)
+    scheduler: Scheduler = cls(params, **kwargs)
+    sizes = chunk_sizes(scheduler)
+    if not sizes:
+        return Prediction(
+            technique=cls.label or cls.name,
+            num_chunks=0,
+            overhead_time=0.0,
+            imbalance_time=0.0,
+            largest_chunk=0,
+            tail_chunk=0.0,
+        )
+    p = params.p
+    c = len(sizes)
+    overhead = params.h * c / p
+    sigma = params.sigma if params.sigma is not None else 0.0
+    mu = params.mu if params.mu is not None else 0.0
+    tail = sizes[-p:] if c >= p else sizes
+    k_tail = sum(tail) / len(tail)
+    if p > 1 and sigma > 0:
+        imbalance = sigma * math.sqrt(2.0 * k_tail * math.log(p))
+    else:
+        imbalance = 0.0
+    # Even with zero variance the final round quantises.  Two bounds
+    # apply: the spread of the final round (equal chunks — STAT on a
+    # divisible n — quantise to zero) and, for dynamically requested
+    # chunks, the size of the very last chunk (self-scheduling staggers
+    # earlier differences away, so only the final straggler remains).
+    if p > 1 and mu > 0:
+        spread = max(tail) - min(tail)
+        quant = min(spread, sizes[-1])
+        imbalance += 0.5 * quant * mu * (1.0 - 1.0 / p)
+    # Staggered-start overshoot: when the *first* round hands out
+    # unequal chunks (GSS-style decreasing sizes, as opposed to
+    # factoring's uniform batches), the variance of the largest early
+    # chunk cannot be fully rebalanced away — the PEs holding smaller
+    # early chunks run out of counterweight.  Scale the order-statistics
+    # overshoot of the largest chunk by the first round's inequality.
+    if c > p and p > 1 and sigma > 0:
+        head = sizes[:p]
+        heterogeneity = (max(head) - min(head)) / max(head)
+        if heterogeneity > 0:
+            overshoot = 0.25 * sigma * math.sqrt(
+                2.0 * max(head) * math.log(p)
+            )
+            imbalance += heterogeneity * overshoot
+    return Prediction(
+        technique=cls.label or cls.name,
+        num_chunks=c,
+        overhead_time=overhead,
+        imbalance_time=imbalance,
+        largest_chunk=max(sizes),
+        tail_chunk=k_tail,
+    )
+
+
+
+def predict_all(
+    params: SchedulingParams,
+    techniques: Sequence[str] = (
+        "stat", "ss", "fsc", "gss", "tss", "fac", "fac2", "bold",
+    ),
+) -> list[Prediction]:
+    """Predictions for several techniques, best (lowest cost) first."""
+    predictions = [predict(t, params) for t in techniques]
+    predictions.sort(key=lambda pr: pr.predicted_wasted_time)
+    return predictions
+
+
+def recommend_technique(
+    params: SchedulingParams,
+    techniques: Sequence[str] = (
+        "stat", "ss", "fsc", "gss", "tss", "fac", "fac2", "bold",
+    ),
+) -> Prediction:
+    """The technique with the lowest predicted wasted time."""
+    return predict_all(params, techniques)[0]
+
+
+def prediction_report(params: SchedulingParams,
+                      techniques: Sequence[str] | None = None) -> str:
+    """ASCII table of the predictions, best first."""
+    kwargs = {} if techniques is None else {"techniques": techniques}
+    rows = predict_all(params, **kwargs)
+    lines = [
+        f"n={params.n}, p={params.p}, h={params.h}, "
+        f"mu={params.mu}, sigma={params.sigma}",
+        f"{'technique':>10} {'chunks':>7} {'overhead':>9} "
+        f"{'imbalance':>10} {'predicted':>10}",
+    ]
+    for pr in rows:
+        lines.append(
+            f"{pr.technique:>10} {pr.num_chunks:>7} {pr.overhead_time:>9.2f} "
+            f"{pr.imbalance_time:>10.2f} {pr.predicted_wasted_time:>10.2f}"
+        )
+    return "\n".join(lines)

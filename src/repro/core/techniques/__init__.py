@@ -1,0 +1,58 @@
+"""DLS technique implementations.
+
+Importing this package registers every technique with
+:mod:`repro.core.registry`.  Non-adaptive techniques (the eight verified in
+the paper plus CSS, WF and TAP) and the adaptive future-work techniques
+(AWF family, AF) each live in their own module.
+"""
+
+from .static_chunking import StaticChunking
+from .self_scheduling import SelfScheduling
+from .chunk_self import ChunkSelfScheduling
+from .fixed_size import FixedSizeChunking
+from .guided import GuidedSelfScheduling
+from .trapezoid import TrapezoidSelfScheduling
+from .factoring import Factoring, Factoring2
+from .weighted_factoring import WeightedFactoring
+from .taper import Taper
+from .bold import Bold
+from .awf import (
+    AdaptiveWeightedFactoring,
+    AdaptiveWeightedFactoringB,
+    AdaptiveWeightedFactoringC,
+    AdaptiveWeightedFactoringD,
+    AdaptiveWeightedFactoringE,
+)
+from .adaptive_factoring import AdaptiveFactoring
+from .extended import (
+    FixedIncrease,
+    PerformanceLoopScheduling,
+    RandomChunk,
+    TrapezoidFactoring,
+    VariableIncrease,
+)
+
+__all__ = [
+    "FixedIncrease",
+    "PerformanceLoopScheduling",
+    "RandomChunk",
+    "TrapezoidFactoring",
+    "VariableIncrease",
+    "StaticChunking",
+    "SelfScheduling",
+    "ChunkSelfScheduling",
+    "FixedSizeChunking",
+    "GuidedSelfScheduling",
+    "TrapezoidSelfScheduling",
+    "Factoring",
+    "Factoring2",
+    "WeightedFactoring",
+    "Taper",
+    "Bold",
+    "AdaptiveWeightedFactoring",
+    "AdaptiveWeightedFactoringB",
+    "AdaptiveWeightedFactoringC",
+    "AdaptiveWeightedFactoringD",
+    "AdaptiveWeightedFactoringE",
+    "AdaptiveFactoring",
+]

@@ -1,0 +1,24 @@
+"""SS — self scheduling.
+
+The fine-grained baseline: every single task is dynamically assigned to an
+available PE.  Perfect load balance (up to one task), maximal scheduling
+overhead (``n`` scheduling operations).  Per Table II of the paper, SS
+requires none of the Table I parameters.
+"""
+
+from __future__ import annotations
+
+from ..base import Scheduler
+from ..registry import register
+
+
+@register
+class SelfScheduling(Scheduler):
+    """Assign exactly one task per request."""
+
+    name = "ss"
+    label = "SS"
+    requires = frozenset()
+
+    def _chunk_size(self, worker: int) -> int:
+        return 1

@@ -1,0 +1,25 @@
+"""STAT — static chunking.
+
+The coarse-grained baseline: ``ceil(n / p)`` tasks are assigned to each PE
+in a single scheduling operation before (conceptually) the computation
+starts.  Scheduling overhead is negligible (exactly ``p`` scheduling
+operations) but load imbalance is maximal among the techniques when task
+times vary.
+"""
+
+from __future__ import annotations
+
+from ..base import Scheduler
+from ..registry import register
+
+
+@register
+class StaticChunking(Scheduler):
+    """Assign ``ceil(n/p)`` tasks per request; at most ``p`` requests."""
+
+    name = "stat"
+    label = "STAT"
+    requires = frozenset({"p", "n"})
+
+    def _chunk_size(self, worker: int) -> int:
+        return self._ceil_div(self.params.n, self.params.p)

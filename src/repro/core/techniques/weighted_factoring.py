@@ -1,0 +1,67 @@
+"""WF — weighted factoring (Hummel, Schmidt, Uma & Wein, 1996).
+
+Factoring for *heterogeneous* systems: within each batch, PE ``i`` receives
+a share of the batch proportional to its (fixed, a-priori known) relative
+speed weight ``w_i``.  The batch total follows the factoring rule
+(``R_j / x_j`` tasks), so WF degenerates to FAC on a homogeneous system.
+
+Weights come from :attr:`SchedulingParams.weights` (normalised to sum to
+one); :func:`repro.core.params.weights_from_speeds` converts absolute PE
+speeds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..base import Scheduler
+from ..registry import register
+from .factoring import factoring_x
+
+
+@register
+class WeightedFactoring(Scheduler):
+    """Per-batch chunks proportional to fixed PE weights."""
+
+    name = "wf"
+    label = "WF"
+    requires = frozenset({"p", "r", "mu", "sigma"})
+
+    def __init__(self, params):
+        super().__init__(params)
+        if params.weights is not None:
+            self.weights = params.weights
+        else:
+            self.weights = tuple(1.0 / params.p for _ in range(params.p))
+        self._batch_left = 0
+        self._batch_total = 0
+        self._batch_index = 0
+        # Workers that already claimed their share of the current batch.
+        self._claimed: set[int] = set()
+
+    def _chunk_size(self, worker: int) -> int:
+        if self._batch_left <= 0:
+            self._start_batch()
+        if worker in self._claimed and self._batch_left > 0:
+            # A worker outpacing the batch cycle takes the equal-share
+            # fallback from what is left of the batch.
+            share = max(1, self._batch_left // max(1, self.params.p))
+        else:
+            share = max(1, math.ceil(self._batch_total * self.weights[worker]))
+        return min(share, self._batch_left)
+
+    def _start_batch(self) -> None:
+        p = self.params.p
+        mu = self.params.mu if self.params.mu is not None else 1.0
+        sigma = self.params.sigma if self.params.sigma is not None else 0.0
+        x = factoring_x(self.state.remaining, p, mu, sigma,
+                        first_batch=self._batch_index == 0)
+        total = max(1, math.ceil(self.state.remaining / x))
+        self._batch_total = min(total, self.state.remaining)
+        self._batch_left = self._batch_total
+        self._batch_index += 1
+        self._claimed.clear()
+
+    def _after_assignment(self, record) -> None:
+        self._batch_left -= record.size
+        self._claimed.add(record.worker)

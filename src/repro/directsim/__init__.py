@@ -1,0 +1,25 @@
+"""Replica of Hagerup's (1997) chunk-level direct simulator."""
+
+from .accounting import OverheadModel, average_wasted_time
+from .faults import (
+    AllWorkersFailedError,
+    FailStop,
+    Fluctuation,
+    LognormalFluctuation,
+    StepFluctuation,
+)
+from .simulator import ChunkExecution, DirectSimulator, RunResult, replicate
+
+__all__ = [
+    "AllWorkersFailedError",
+    "ChunkExecution",
+    "DirectSimulator",
+    "FailStop",
+    "Fluctuation",
+    "LognormalFluctuation",
+    "OverheadModel",
+    "RunResult",
+    "StepFluctuation",
+    "average_wasted_time",
+    "replicate",
+]

@@ -1,0 +1,10 @@
+"""Overhead accounting for the direct simulator.
+
+The canonical definitions live in :mod:`repro.metrics.wasted_time`; this
+module re-exports them under the historical location so that
+``repro.directsim.OverheadModel`` keeps working.
+"""
+
+from ..metrics.wasted_time import OverheadModel, average_wasted_time
+
+__all__ = ["OverheadModel", "average_wasted_time"]

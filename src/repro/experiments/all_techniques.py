@@ -1,0 +1,83 @@
+"""Full-registry comparison: every technique on one problem cell.
+
+The verified eight plus CSS/WF/TAP, the adaptive family and the
+follow-on canon, ranked by measured average wasted time on a chosen
+(n, p, h, workload) cell — the "canonical implementation" view the DLS
+literature lacks a single source for.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.params import SchedulingParams
+from ..core.registry import get_technique, technique_names
+from ..directsim import DirectSimulator
+from ..workloads.distributions import ExponentialWorkload, Workload
+
+
+@dataclass(frozen=True)
+class TechniqueRow:
+    """Measured behaviour of one technique on the comparison cell."""
+
+    name: str
+    label: str
+    adaptive: bool
+    mean_wasted_time: float
+    mean_chunks: float
+    mean_speedup: float
+
+
+def run_all_techniques(
+    n: int = 4096,
+    p: int = 16,
+    h: float = 0.1,
+    workload: Workload | None = None,
+    runs: int = 10,
+    seed: int = 42,
+    techniques: Sequence[str] | None = None,
+) -> list[TechniqueRow]:
+    """Measure every registered technique; returns rows, best first."""
+    workload = workload or ExponentialWorkload(1.0)
+    if techniques is None:
+        techniques = technique_names()
+    params = SchedulingParams(
+        n=n, p=p, h=h, mu=workload.mean,
+        sigma=workload.std,
+    )
+    sim = DirectSimulator(params, workload)
+    rows: list[TechniqueRow] = []
+    for name in techniques:
+        cls = get_technique(name)
+        results = [sim.run(cls, seed=seed + i) for i in range(runs)]
+        rows.append(
+            TechniqueRow(
+                name=name,
+                label=cls.label or name,
+                adaptive=cls.adaptive,
+                mean_wasted_time=statistics.mean(
+                    r.average_wasted_time for r in results
+                ),
+                mean_chunks=statistics.mean(r.num_chunks for r in results),
+                mean_speedup=statistics.mean(r.speedup for r in results),
+            )
+        )
+    rows.sort(key=lambda r: r.mean_wasted_time)
+    return rows
+
+
+def all_techniques_report(rows: Sequence[TechniqueRow]) -> str:
+    """The comparison as an ASCII leaderboard."""
+    lines = [
+        f"{'rank':>4} {'technique':>10} {'adaptive':>8} {'wasted[s]':>10} "
+        f"{'chunks':>8} {'speedup':>8}"
+    ]
+    for i, row in enumerate(rows, start=1):
+        lines.append(
+            f"{i:>4} {row.label:>10} {str(row.adaptive):>8} "
+            f"{row.mean_wasted_time:>10.2f} {row.mean_chunks:>8.1f} "
+            f"{row.mean_speedup:>8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""The BOLD-publication reproducibility experiments (Figures 5-9, Table III).
+
+Eight DLS techniques schedule n ∈ {1024, 8192, 65536, 524288} tasks onto
+p ∈ {2, 8, 64, 256, 1024} PEs; task times are exponential with
+mu = sigma = 1 s; the scheduling overhead is h = 0.5 s; the metric is the
+sample mean of the average wasted time over the runs (Section III-B /
+IV-B of the paper).
+
+Run-count defaults are scaled to the cost of each task count so the
+benchmark suite stays tractable on a laptop (the paper used 1,000 runs on
+an HPC cluster); override with the ``REPRO_RUNS`` environment variable or
+the ``runs`` argument, and see EXPERIMENTS.md for what was actually run.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.params import SchedulingParams
+from ..metrics.discrepancy import DiscrepancyRow, discrepancy_table
+from ..metrics.summary import Summary, mean_excluding_above, summarize
+from ..metrics.wasted_time import OverheadModel
+from ..workloads.distributions import ExponentialWorkload
+from .runner import RunTask, SimulatorKind, run_replicated
+
+#: the eight techniques of the BOLD publication, in the paper's order
+BOLD_TECHNIQUES = ("STAT", "SS", "FSC", "GSS", "TSS", "FAC", "FAC2", "BOLD")
+BOLD_TASK_COUNTS = (1024, 8192, 65536, 524288)
+BOLD_PE_COUNTS = (2, 8, 64, 256, 1024)
+BOLD_H = 0.5
+BOLD_MU = 1.0
+BOLD_SIGMA = 1.0
+#: the paper's run count (per-cell defaults below are laptop-scaled)
+BOLD_PAPER_RUNS = 1000
+
+#: default replications per task count (cost scales with chunk count)
+DEFAULT_RUNS = {1024: 40, 8192: 12, 65536: 4, 524288: 2}
+
+
+def default_runs(n: int) -> int:
+    """Replications for an ``n``-task experiment (env-overridable)."""
+    env = os.environ.get("REPRO_RUNS")
+    if env:
+        return max(1, int(env))
+    return DEFAULT_RUNS.get(n, 10)
+
+
+def scheduling_params(n: int, p: int) -> SchedulingParams:
+    """The BOLD experiment's parameters for one (n, p) cell."""
+    return SchedulingParams(n=n, p=p, h=BOLD_H, mu=BOLD_MU, sigma=BOLD_SIGMA)
+
+
+@dataclass
+class BoldExperimentResult:
+    """Means (and summaries) of one n-task experiment across PE counts."""
+
+    n: int
+    pe_counts: tuple[int, ...]
+    techniques: tuple[str, ...]
+    runs: int
+    simulator: str
+    values: dict[str, list[float]] = field(default_factory=dict)
+    summaries: dict[str, list[Summary]] = field(default_factory=dict)
+
+    def value(self, technique: str, p: int) -> float:
+        return self.values[technique][self.pe_counts.index(p)]
+
+
+def run_bold_experiment(
+    n: int,
+    pe_counts: Sequence[int] = BOLD_PE_COUNTS,
+    techniques: Sequence[str] = BOLD_TECHNIQUES,
+    runs: int | None = None,
+    simulator: SimulatorKind = "msg",
+    seed: int = 2017,
+    processes: int | None = None,
+) -> BoldExperimentResult:
+    """Reproduce one of the four n-task experiments (Figures 5-8 a/b)."""
+    if runs is None:
+        runs = default_runs(n)
+    workload = ExponentialWorkload(BOLD_MU)
+    result = BoldExperimentResult(
+        n=n,
+        pe_counts=tuple(pe_counts),
+        techniques=tuple(techniques),
+        runs=runs,
+        simulator=simulator,
+    )
+    for technique in techniques:
+        means: list[float] = []
+        summaries: list[Summary] = []
+        for p in pe_counts:
+            task = RunTask(
+                technique=technique.lower(),
+                params=scheduling_params(n, p),
+                workload=workload,
+                simulator=simulator,
+                overhead_model=OverheadModel.POST_HOC,
+            )
+            results = run_replicated(
+                task, runs,
+                campaign_seed=_cell_seed(seed, n, p, technique),
+                processes=processes,
+            )
+            sample = [r.average_wasted_time for r in results]
+            summary = summarize(sample)
+            means.append(summary.mean)
+            summaries.append(summary)
+        result.values[technique] = means
+        result.summaries[technique] = summaries
+    return result
+
+
+def compare_to_reference(result: BoldExperimentResult) -> list[DiscrepancyRow]:
+    """Figures 5c/d .. 8c/d: discrepancies against the reference values."""
+    from .published import bold_reference
+
+    reference = bold_reference(result.n)
+    return discrepancy_table(result.values, reference, result.pe_counts)
+
+
+@dataclass
+class FacOutlierResult:
+    """Figure 9's study: per-run FAC wasted times at p=2, n=524288."""
+
+    n: int
+    p: int
+    runs: int
+    threshold: float
+    per_run: list[float]
+    mean: float
+    mean_excluding: float
+    num_above: int
+
+    @property
+    def fraction_above(self) -> float:
+        return self.num_above / self.runs
+
+
+def fac_outlier_study(
+    n: int = 524288,
+    p: int = 2,
+    runs: int = 1000,
+    threshold: float = 400.0,
+    simulator: SimulatorKind = "direct",
+    seed: int = 1997,
+    technique: str = "fac",
+    processes: int | None = None,
+) -> FacOutlierResult:
+    """Reproduce Figure 9: the heavy tail of FAC's per-run wasted time.
+
+    The paper observes 15 of 1,000 runs above 400 s (1.5 %) and an
+    outlier-excluded mean of 25.82 s.
+    """
+    task = RunTask(
+        technique=technique,
+        params=scheduling_params(n, p),
+        workload=ExponentialWorkload(BOLD_MU),
+        simulator=simulator,
+        overhead_model=OverheadModel.POST_HOC,
+    )
+    results = run_replicated(task, runs, campaign_seed=seed,
+                             processes=processes)
+    per_run = [r.average_wasted_time for r in results]
+    mean = sum(per_run) / len(per_run)
+    mean_excl, num_above = mean_excluding_above(per_run, threshold)
+    return FacOutlierResult(
+        n=n, p=p, runs=runs, threshold=threshold,
+        per_run=per_run, mean=mean,
+        mean_excluding=mean_excl, num_above=num_above,
+    )
+
+
+def _cell_seed(seed: int, n: int, p: int, technique: str) -> int:
+    """A deterministic per-cell campaign seed (stable across processes)."""
+    key = f"{seed}:{n}:{p}:{technique.upper()}".encode()
+    return zlib.crc32(key)

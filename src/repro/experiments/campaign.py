@@ -1,0 +1,81 @@
+"""The full reproduction campaign: every artifact in one run.
+
+Regenerates Tables II/III and Figures 3-9 with configurable run counts
+and prints the series plus discrepancy analyses.  Used by
+``scripts/run_campaign.py`` and ``repro-dls campaign``; the output is
+the source of the numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping, TextIO
+
+#: default replications per BOLD task count (MSG simulator side)
+DEFAULT_CAMPAIGN_RUNS: dict[int, int] = {
+    1024: 100, 8192: 30, 65536: 8, 524288: 2,
+}
+DEFAULT_FIG9_RUNS = 1000
+
+
+def run_full_campaign(
+    out: TextIO | None = None,
+    campaign_runs: Mapping[int, int] | None = None,
+    fig9_runs: int = DEFAULT_FIG9_RUNS,
+    include_tss: bool = True,
+) -> float:
+    """Run everything; returns the total wall time in seconds.
+
+    ``out`` defaults to stdout.  ``campaign_runs`` maps BOLD task counts
+    to replication counts (missing task counts are skipped).
+    """
+    import sys
+
+    from .descriptors import EXPERIMENTS
+
+    stream = out if out is not None else sys.stdout
+
+    def emit(text: str = "") -> None:
+        print(text, file=stream)
+
+    def banner(title: str) -> None:
+        emit()
+        emit("=" * 72)
+        emit(title)
+        emit("=" * 72)
+
+    if campaign_runs is None:
+        campaign_runs = DEFAULT_CAMPAIGN_RUNS
+
+    t0 = time.time()
+    banner("Table II / Table III")
+    emit(EXPERIMENTS["table2"].run())
+    emit()
+    emit(EXPERIMENTS["table3"].run())
+
+    if include_tss:
+        for fig in ("fig3", "fig4"):
+            banner(f"{fig} — TSS experiment")
+            t = time.time()
+            emit(EXPERIMENTS[fig].run())
+            emit(f"[{fig} took {time.time() - t:.1f}s]")
+
+    fig_by_n = {1024: "fig5", 8192: "fig6", 65536: "fig7", 524288: "fig8"}
+    for n, fig in fig_by_n.items():
+        if n not in campaign_runs:
+            continue
+        runs = campaign_runs[n]
+        banner(f"{fig} — BOLD experiment, {n:,} tasks ({runs} runs)")
+        t = time.time()
+        emit(EXPERIMENTS[fig].run(runs=runs, simulator="msg"))
+        emit(f"[{fig} took {time.time() - t:.1f}s]")
+
+    if fig9_runs > 0:
+        banner(f"fig9 — FAC outlier study ({fig9_runs} runs)")
+        t = time.time()
+        emit(EXPERIMENTS["fig9"].run(runs=fig9_runs))
+        emit(f"[fig9 took {time.time() - t:.1f}s]")
+
+    total = time.time() - t0
+    emit(f"\ntotal campaign time: {total:.1f}s")
+    return total

@@ -1,0 +1,237 @@
+"""Experiment descriptors: one entry per table/figure of the paper.
+
+The registry maps experiment ids (``fig3`` .. ``fig9``, ``table2``,
+``table3``) to runnable descriptors, powering the CLI and serving as the
+per-experiment index DESIGN.md references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ExperimentDescriptor:
+    """A reproducible artifact of the paper."""
+
+    id: str
+    paper_artifact: str
+    description: str
+    run: Callable[..., str]   # returns a printable report
+
+
+def _run_table2(**kwargs) -> str:
+    from .tables import format_table2, table2_matches_publication
+
+    lines = [format_table2(), ""]
+    for tech, ok in table2_matches_publication().items():
+        lines.append(f"{tech:>5}: {'matches Table II' if ok else 'MISMATCH'}")
+    return "\n".join(lines)
+
+
+def _run_table3(**kwargs) -> str:
+    from .tables import format_table3
+
+    return format_table3()
+
+
+def _run_tss(experiment: int, **kwargs) -> str:
+    from .report import series_table
+    from .tss_experiments import run_tss_experiment, tss_reproduction_verdicts
+
+    result = run_tss_experiment(experiment, **kwargs)
+    lines = [
+        f"TSS experiment {experiment}: n={result.n:,}, "
+        f"constant task time {result.task_time * 1e6:.0f} us",
+        series_table(result.speedups, result.pe_counts, key_header="speedup\\PEs"),
+        "",
+        "Reproduction verdicts vs digitized published curves:",
+    ]
+    for v in tss_reproduction_verdicts(result):
+        status = "reproduced" if v.reproduced else "NOT reproduced"
+        lines.append(
+            f"  {v.technique:>8}: max |rel. discrepancy| = "
+            f"{v.max_abs_relative_discrepancy:6.1f}%  -> {status}"
+        )
+    return "\n".join(lines)
+
+
+def _run_bold(n: int, **kwargs) -> str:
+    from .bold_experiments import compare_to_reference, run_bold_experiment
+    from .published import bold_reference_available
+    from .report import series_table
+
+    result = run_bold_experiment(n, **kwargs)
+    lines = [
+        f"BOLD experiment: n={n:,} tasks, exp(mu=1s), h=0.5s, "
+        f"{result.runs} runs, simulator={result.simulator}",
+        series_table(result.values, result.pe_counts, key_header="AWT[s]\\PEs"),
+    ]
+    if bold_reference_available():
+        lines.append("")
+        lines.append("Discrepancy vs reference [s] (positive = slower):")
+        for row in compare_to_reference(result):
+            cells = " ".join(f"{d:8.2f}" for d in row.discrepancies)
+            lines.append(f"  {row.technique:>5}: {cells}")
+        lines.append("Relative discrepancy vs reference [%]:")
+        for row in compare_to_reference(result):
+            cells = " ".join(
+                f"{d:8.1f}" for d in row.relative_discrepancies
+            )
+            lines.append(f"  {row.technique:>5}: {cells}")
+    return "\n".join(lines)
+
+
+def _run_fig9(**kwargs) -> str:
+    from .bold_experiments import fac_outlier_study
+    from .report import ascii_histogram
+
+    study = fac_outlier_study(**kwargs)
+    return "\n".join(
+        [
+            f"FAC outlier study (Figure 9): n={study.n:,}, p={study.p}, "
+            f"{study.runs} runs",
+            f"  mean average wasted time          : {study.mean:10.2f} s",
+            f"  runs above {study.threshold:.0f} s               : "
+            f"{study.num_above} ({study.fraction_above * 100:.1f}%)",
+            f"  mean excluding those runs         : "
+            f"{study.mean_excluding:10.2f} s",
+            "  (paper: 15/1000 runs above 400 s; excluded mean 25.82 s)",
+            "",
+            "per-run distribution (log-scaled bars):",
+            ascii_histogram(study.per_run, log_counts=True),
+        ]
+    )
+
+
+def _run_scalability(mode: str = "strong", **kwargs) -> str:
+    from .scalability import efficiency_report, run_scaling_study
+
+    return efficiency_report(run_scaling_study(mode=mode, **kwargs))
+
+
+def _run_css_sweep(**kwargs) -> str:
+    from .tss_experiments import run_css_k_sweep
+
+    sweep = run_css_k_sweep(**kwargs)
+    lines = [f"{'k':>8} {'speedup':>9}"]
+    for k, s in sweep.items():
+        marker = "  <- k = I/P (original: 69.2)" if k == 1389 else ""
+        lines.append(f"{k:>8} {s:>9.2f}{marker}")
+    return "\n".join(lines)
+
+
+def _run_tss_shapes(**kwargs) -> str:
+    from .tss_experiments import run_tss_workload_study
+
+    table = run_tss_workload_study(2, **kwargs)
+    techniques = list(next(iter(table.values())))
+    lines = [f"{'shape':>12}" + "".join(f"{t:>10}" for t in techniques)]
+    for shape, row in table.items():
+        lines.append(
+            f"{shape:>12}" + "".join(f"{row[t]:>10.2f}" for t in row)
+        )
+    return "\n".join(lines)
+
+
+def _run_remote_ratio(**kwargs) -> str:
+    from .tss_experiments import run_remote_ratio_study
+
+    study = run_remote_ratio_study(**kwargs)
+    lines = [f"{'remote ratio':>13} {'speedup':>9}"]
+    for ratio, speedup in study.items():
+        lines.append(f"{ratio:>12.0%} {speedup:>9.2f}")
+    return "\n".join(lines)
+
+
+EXPERIMENTS: dict[str, ExperimentDescriptor] = {
+    "table2": ExperimentDescriptor(
+        id="table2",
+        paper_artifact="Table II",
+        description="Required parameters per DLS technique",
+        run=_run_table2,
+    ),
+    "table3": ExperimentDescriptor(
+        id="table3",
+        paper_artifact="Table III",
+        description="Overview of the reproducibility experiments",
+        run=_run_table3,
+    ),
+    "fig3": ExperimentDescriptor(
+        id="fig3",
+        paper_artifact="Figure 3",
+        description="TSS experiment 1 speedups (100,000 x 110 us)",
+        run=lambda **kw: _run_tss(1, **kw),
+    ),
+    "fig4": ExperimentDescriptor(
+        id="fig4",
+        paper_artifact="Figure 4",
+        description="TSS experiment 2 speedups (10,000 x 2 ms)",
+        run=lambda **kw: _run_tss(2, **kw),
+    ),
+    "fig5": ExperimentDescriptor(
+        id="fig5",
+        paper_artifact="Figure 5",
+        description="BOLD experiment, 1,024 tasks",
+        run=lambda **kw: _run_bold(1024, **kw),
+    ),
+    "fig6": ExperimentDescriptor(
+        id="fig6",
+        paper_artifact="Figure 6",
+        description="BOLD experiment, 8,192 tasks",
+        run=lambda **kw: _run_bold(8192, **kw),
+    ),
+    "fig7": ExperimentDescriptor(
+        id="fig7",
+        paper_artifact="Figure 7",
+        description="BOLD experiment, 65,536 tasks",
+        run=lambda **kw: _run_bold(65536, **kw),
+    ),
+    "fig8": ExperimentDescriptor(
+        id="fig8",
+        paper_artifact="Figure 8",
+        description="BOLD experiment, 524,288 tasks",
+        run=lambda **kw: _run_bold(524288, **kw),
+    ),
+    "fig9": ExperimentDescriptor(
+        id="fig9",
+        paper_artifact="Figure 9",
+        description="FAC per-run outliers (p=2, 524,288 tasks)",
+        run=_run_fig9,
+    ),
+    # Extension studies (companion-study scenarios, not paper artifacts).
+    "scalability": ExperimentDescriptor(
+        id="scalability",
+        paper_artifact="(ext: ref [1])",
+        description="Strong-scaling efficiency sweep",
+        run=_run_scalability,
+    ),
+    "css-sweep": ExperimentDescriptor(
+        id="css-sweep",
+        paper_artifact="(ext: TSS pub.)",
+        description="CSS(k) chunk-size tuning sweep",
+        run=_run_css_sweep,
+    ),
+    "tss-shapes": ExperimentDescriptor(
+        id="tss-shapes",
+        paper_artifact="(ext: TSS pub.)",
+        description="TSS techniques across workload shapes",
+        run=_run_tss_shapes,
+    ),
+    "remote-ratio": ExperimentDescriptor(
+        id="remote-ratio",
+        paper_artifact="(ext: TSS pub.)",
+        description="Speedup vs remote memory reference ratio",
+        run=_run_remote_ratio,
+    ),
+}
+
+
+def get_experiment(exp_id: str) -> ExperimentDescriptor:
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None

@@ -1,0 +1,148 @@
+"""Campaign persistence: save, load and compare experiment results.
+
+Reproducibility of *this* work (Section V of the paper makes its raw
+data available online) requires the regenerated series to be storable
+and comparable: a :class:`CampaignRecord` holds the series of any number
+of experiments with their provenance (seed, runs, simulator, package
+version), serialises to JSON, and can be diffed against a later record —
+so a change in the library that shifts an experiment's numbers is caught
+as a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from ..metrics.discrepancy import DiscrepancyRow, discrepancy_table
+
+
+@dataclass
+class ExperimentSeries:
+    """One experiment's series: technique -> values over sweep keys."""
+
+    experiment: str
+    keys: list
+    series: dict[str, list[float]]
+    provenance: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "keys": list(self.keys),
+            "series": {k: list(map(float, v)) for k, v in self.series.items()},
+            "provenance": self.provenance,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "ExperimentSeries":
+        return cls(
+            experiment=data["experiment"],
+            keys=list(data["keys"]),
+            series={k: list(v) for k, v in data["series"].items()},
+            provenance=dict(data.get("provenance", {})),
+        )
+
+
+@dataclass
+class CampaignRecord:
+    """A set of experiment series plus campaign-level provenance."""
+
+    experiments: dict[str, ExperimentSeries] = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+    def add(self, series: ExperimentSeries) -> None:
+        self.experiments[series.experiment] = series
+
+    def add_bold_result(self, result) -> ExperimentSeries:
+        """Record a :class:`~repro.experiments.bold_experiments.BoldExperimentResult`."""
+        series = ExperimentSeries(
+            experiment=f"bold-n{result.n}",
+            keys=list(result.pe_counts),
+            series={k: list(v) for k, v in result.values.items()},
+            provenance={
+                "n": result.n,
+                "runs": result.runs,
+                "simulator": result.simulator,
+            },
+        )
+        self.add(series)
+        return series
+
+    def add_tss_result(self, result) -> ExperimentSeries:
+        """Record a :class:`~repro.experiments.tss_experiments.TssExperimentResult`."""
+        series = ExperimentSeries(
+            experiment=f"tss-exp{result.experiment}",
+            keys=list(result.pe_counts),
+            series={k: list(v) for k, v in result.speedups.items()},
+            provenance={
+                "n": result.n,
+                "task_time": result.task_time,
+            },
+        )
+        self.add(series)
+        return series
+
+    # -- (de)serialisation --------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        document = {
+            "metadata": self.metadata,
+            "experiments": {
+                k: v.to_json() for k, v in self.experiments.items()
+            },
+        }
+        Path(path).write_text(json.dumps(document, indent=1))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignRecord":
+        data = json.loads(Path(path).read_text())
+        record = cls(metadata=dict(data.get("metadata", {})))
+        for key, value in data.get("experiments", {}).items():
+            record.experiments[key] = ExperimentSeries.from_json(value)
+        return record
+
+
+def compare_campaigns(
+    current: CampaignRecord,
+    reference: CampaignRecord,
+) -> dict[str, list[DiscrepancyRow]]:
+    """Discrepancy rows of every experiment both campaigns contain."""
+    out: dict[str, list[DiscrepancyRow]] = {}
+    for exp_id, series in current.experiments.items():
+        ref = reference.experiments.get(exp_id)
+        if ref is None:
+            continue
+        if list(ref.keys) != list(series.keys):
+            raise ValueError(
+                f"{exp_id}: sweep keys differ "
+                f"({series.keys} vs {ref.keys})"
+            )
+        out[exp_id] = discrepancy_table(
+            series.series, ref.series, series.keys
+        )
+    return out
+
+
+def regression_check(
+    current: CampaignRecord,
+    reference: CampaignRecord,
+    tolerance_percent: float = 25.0,
+) -> list[str]:
+    """Human-readable regressions: cells drifting beyond the tolerance.
+
+    Returns an empty list when everything is within tolerance.  The
+    default tolerance is generous because runs are stochastic; tighten
+    it for campaigns with large run counts.
+    """
+    problems: list[str] = []
+    for exp_id, rows in compare_campaigns(current, reference).items():
+        for row in rows:
+            for key, rel in zip(row.keys, row.relative_discrepancies):
+                if abs(rel) > tolerance_percent:
+                    problems.append(
+                        f"{exp_id} / {row.technique} @ {key}: "
+                        f"{rel:+.1f}% vs reference"
+                    )
+    return problems

@@ -1,0 +1,148 @@
+"""Plain-text reporting: the rows/series the paper's figures plot.
+
+The harness prints ASCII tables (and writes CSV) carrying exactly the
+series of each figure: techniques down the side, the sweep (PE counts)
+across, values in seconds or speedups.  ``format_log_series`` renders a
+rough log-scale text chart for terminal inspection of the figure shapes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 float_fmt: str = "{:.2f}") -> str:
+    """Fixed-width ASCII table."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in str_rows:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def series_table(
+    series: Mapping[str, Sequence[float]],
+    keys: Sequence,
+    key_header: str = "PEs",
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Techniques as rows, sweep keys as columns (a figure's data)."""
+    headers = [key_header] + [str(k) for k in keys]
+    rows = []
+    for name, values in series.items():
+        if len(values) != len(keys):
+            raise ValueError(
+                f"{name}: need {len(keys)} values, got {len(values)}"
+            )
+        rows.append([name] + list(values))
+    return format_table(headers, rows, float_fmt=float_fmt)
+
+
+def write_csv(
+    path: str | Path,
+    series: Mapping[str, Sequence[float]],
+    keys: Sequence,
+    key_header: str = "pes",
+) -> None:
+    """Write a figure's series to CSV (one row per technique)."""
+    with Path(path).open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["technique"] + [str(k) for k in keys])
+        for name, values in series.items():
+            writer.writerow([name] + [repr(float(v)) for v in values])
+
+
+def series_to_csv_text(series: Mapping[str, Sequence[float]],
+                       keys: Sequence) -> str:
+    """The CSV content as a string (for tests and stdout)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["technique"] + [str(k) for k in keys])
+    for name, values in series.items():
+        writer.writerow([name] + [repr(float(v)) for v in values])
+    return buf.getvalue()
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 12,
+    width: int = 50,
+    log_counts: bool = False,
+) -> str:
+    """A terminal histogram — Figure 9's per-run distribution view."""
+    import math as _math
+
+    data = [float(v) for v in values]
+    if not data:
+        return "(empty sample)"
+    lo, hi = min(data), max(data)
+    if hi == lo:
+        return f"all {len(data)} values = {lo:.3g}"
+    span = (hi - lo) / bins
+    counts = [0] * bins
+    for v in data:
+        idx = min(int((v - lo) / span), bins - 1)
+        counts[idx] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        left = lo + i * span
+        right = left + span
+        if log_counts and count > 0:
+            bar_len = max(
+                1, int(_math.log1p(count) / _math.log1p(peak) * width)
+            )
+        else:
+            bar_len = int(count / peak * width) if peak else 0
+        lines.append(
+            f"[{left:>9.2f}, {right:>9.2f}) "
+            f"{'#' * bar_len:<{width}} {count}"
+        )
+    return "\n".join(lines)
+
+
+def format_log_series(
+    series: Mapping[str, Sequence[float]],
+    keys: Sequence,
+    width: int = 60,
+) -> str:
+    """A crude log-scale text rendering of a figure's series.
+
+    Each series/key pair becomes one marker positioned by log10(value),
+    enough to eyeball who wins and where crossovers fall.
+    """
+    values = [v for vs in series.values() for v in vs if v > 0]
+    if not values:
+        return "(no positive values)"
+    lo = math.log10(min(values))
+    hi = math.log10(max(values))
+    span = max(hi - lo, 1e-9)
+    lines = [f"log10 scale: {10**lo:.3g} .. {10**hi:.3g}"]
+    for name, vs in series.items():
+        for key, v in zip(keys, vs):
+            if v <= 0:
+                bar = "(<=0)"
+                pos = 0
+            else:
+                pos = int((math.log10(v) - lo) / span * (width - 1))
+                bar = "." * pos + "o"
+            lines.append(f"{name:>6} p={key!s:>5} |{bar:<{width}}| {v:.3g}")
+    return "\n".join(lines)

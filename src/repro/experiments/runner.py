@@ -1,0 +1,123 @@
+"""Replication campaign runner.
+
+A campaign is a set of independent simulation runs (technique x parameters
+x replication).  Runs are described by picklable :class:`RunTask` objects
+so campaigns can be distributed over processes with
+:mod:`multiprocessing` — the role the HPC cluster *taurus* played for the
+original measurement campaign ("the individual measurements were
+performed in parallel", Section V).  On a single-core machine the runner
+degrades to a sequential loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Literal, Sequence
+
+import numpy as np
+
+from ..core.params import SchedulingParams
+from ..core.registry import get_technique
+from ..directsim import DirectSimulator
+from ..metrics.wasted_time import OverheadModel
+from ..results import RunResult
+from ..simgrid.masterworker import MasterWorkerConfig, MasterWorkerSimulation
+from ..simgrid.platform import Platform
+from ..workloads.distributions import Workload
+
+SimulatorKind = Literal["msg", "direct"]
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One independent simulation run, fully described by data."""
+
+    technique: str
+    params: SchedulingParams
+    workload: Workload
+    simulator: SimulatorKind = "msg"
+    overhead_model: OverheadModel = OverheadModel.POST_HOC
+    platform: Platform | None = None
+    speeds: tuple[float, ...] | None = None
+    start_times: tuple[float, ...] | None = None
+    technique_kwargs: dict = field(default_factory=dict)
+    seed_entropy: tuple[int, ...] = ()
+
+    def execute(self) -> RunResult:
+        """Run this task and return its result."""
+        factory = lambda params: get_technique(self.technique)(
+            params, **self.technique_kwargs
+        )
+        seed = (
+            np.random.SeedSequence(entropy=list(self.seed_entropy))
+            if self.seed_entropy
+            else None
+        )
+        if self.simulator == "direct":
+            sim = DirectSimulator(
+                self.params,
+                self.workload,
+                overhead_model=self.overhead_model,
+                speeds=list(self.speeds) if self.speeds else None,
+                start_times=list(self.start_times) if self.start_times else None,
+            )
+            return sim.run(factory, seed)
+        config = MasterWorkerConfig(
+            overhead_model=self.overhead_model,
+            start_times=list(self.start_times) if self.start_times else None,
+        )
+        sim = MasterWorkerSimulation(
+            self.params, self.workload, platform=self.platform, config=config
+        )
+        return sim.run(factory, seed)
+
+
+def _execute_task(task: RunTask) -> RunResult:
+    return task.execute()
+
+
+def expand_replications(task: RunTask, runs: int,
+                        campaign_seed: int | None) -> list[RunTask]:
+    """Clone ``task`` into ``runs`` tasks with independent spawned seeds."""
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    seeds = np.random.SeedSequence(campaign_seed).spawn(runs)
+    out = []
+    for seq in seeds:
+        entropy = tuple(int(v) for v in np.atleast_1d(seq.entropy)) + tuple(
+            seq.spawn_key
+        )
+        out.append(
+            RunTask(
+                **{
+                    **task.__dict__,
+                    "seed_entropy": entropy,
+                }
+            )
+        )
+    return out
+
+
+def run_campaign(tasks: Sequence[RunTask],
+                 processes: int | None = None) -> list[RunResult]:
+    """Execute tasks, parallelising over processes when it helps.
+
+    ``processes`` defaults to the CPU count; with one process (or one
+    task) the loop stays in-process, avoiding pickling overhead.
+    """
+    if processes is None:
+        processes = os.cpu_count() or 1
+    if processes <= 1 or len(tasks) <= 1:
+        return [task.execute() for task in tasks]
+    with multiprocessing.Pool(processes=processes) as pool:
+        return pool.map(_execute_task, tasks, chunksize=1)
+
+
+def run_replicated(task: RunTask, runs: int, campaign_seed: int | None = None,
+                   processes: int | None = None) -> list[RunResult]:
+    """Convenience: expand replications of one task and run them."""
+    return run_campaign(
+        expand_replications(task, runs, campaign_seed), processes=processes
+    )

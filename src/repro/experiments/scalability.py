@@ -1,0 +1,102 @@
+"""Scalability study — the paper's companion dimension (ref [1]).
+
+Balasubramaniam et al. (IPDPS-W 2012) studied the scalability of the DLS
+techniques via discrete event simulation: how efficiency behaves as the
+PE count grows under weak scaling (constant work per PE) and strong
+scaling (constant total work).  The paper under reproduction cites this
+as the first of the verified implementation's use cases, so the harness
+keeps the study runnable.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.params import SchedulingParams
+from ..core.registry import get_technique
+from ..directsim import DirectSimulator, OverheadModel
+from ..workloads.distributions import ExponentialWorkload, Workload
+
+
+@dataclass
+class ScalingResult:
+    """Efficiency and wasted time across a PE sweep."""
+
+    mode: str                      # "strong" or "weak"
+    pe_counts: tuple[int, ...]
+    tasks_at: dict[int, int]       # p -> n used at that point
+    efficiency: dict[str, list[float]] = field(default_factory=dict)
+    wasted: dict[str, list[float]] = field(default_factory=dict)
+
+
+def run_scaling_study(
+    mode: str = "strong",
+    techniques: Sequence[str] = ("stat", "ss", "gss", "tss", "fac2", "bold"),
+    pe_counts: Sequence[int] = (2, 4, 8, 16, 32, 64, 128),
+    n_total: int = 16384,
+    tasks_per_pe: int = 256,
+    h: float = 0.05,
+    workload: Workload | None = None,
+    runs: int = 5,
+    seed: int = 2012,
+) -> ScalingResult:
+    """Run a strong- or weak-scaling sweep on the direct simulator.
+
+    Strong scaling keeps ``n_total`` fixed; weak scaling keeps
+    ``tasks_per_pe`` per PE.  Efficiency is speedup / p (1.0 = perfect).
+    The SERIALIZED_MASTER overhead model is used so scheduling operations
+    contend at the master — the contention that actually limits SS's
+    scalability; post-hoc accounting would make SS look free.
+    """
+    if mode not in ("strong", "weak"):
+        raise ValueError(f"mode must be 'strong' or 'weak', got {mode!r}")
+    workload = workload or ExponentialWorkload(1.0)
+    result = ScalingResult(
+        mode=mode,
+        pe_counts=tuple(pe_counts),
+        tasks_at={},
+    )
+    for technique in techniques:
+        effs: list[float] = []
+        wts: list[float] = []
+        for p in pe_counts:
+            n = n_total if mode == "strong" else tasks_per_pe * p
+            result.tasks_at[p] = n
+            params = SchedulingParams(
+                n=n, p=p, h=h, mu=workload.mean,
+                sigma=workload.std,
+            )
+            sim = DirectSimulator(
+                params, workload,
+                overhead_model=OverheadModel.SERIALIZED_MASTER,
+            )
+            cls = get_technique(technique)
+            samples = [
+                sim.run(cls, seed=seed * 1000 + p * 10 + i)
+                for i in range(runs)
+            ]
+            effs.append(statistics.mean(r.efficiency for r in samples))
+            wts.append(
+                statistics.mean(r.average_wasted_time for r in samples)
+            )
+        result.efficiency[technique] = effs
+        result.wasted[technique] = wts
+    return result
+
+
+def efficiency_report(result: ScalingResult) -> str:
+    """The scaling sweep as an ASCII table."""
+    from .report import series_table
+
+    title = (
+        f"{result.mode} scaling, "
+        f"n per point: {[result.tasks_at[p] for p in result.pe_counts]}"
+    )
+    table = series_table(
+        {t.upper(): v for t, v in result.efficiency.items()},
+        result.pe_counts,
+        key_header="eff\\PEs",
+    )
+    return f"{title}\n{table}"

@@ -1,0 +1,71 @@
+"""Regeneration of the paper's tables.
+
+* Table I is notation (nothing to compute).
+* Table II — required parameters per DLS technique — is *generated from
+  the implementation*: each technique class declares its ``requires``
+  set, so the table doubles as a living check that the code needs exactly
+  what the paper says it needs.
+* Table III — the overview of the BOLD reproducibility experiments.
+"""
+
+from __future__ import annotations
+
+from ..core.base import PARAM_SYMBOLS
+from ..core.registry import get_technique
+from .report import format_table
+
+#: Table II's row order in the paper
+TABLE2_TECHNIQUES = ("STAT", "SS", "FSC", "GSS", "TSS", "FAC", "FAC2", "BOLD")
+
+#: Table II of the paper, transcribed: technique -> required symbols
+TABLE2_PUBLISHED: dict[str, frozenset[str]] = {
+    "STAT": frozenset({"p", "n"}),
+    "SS": frozenset(),
+    "FSC": frozenset({"p", "n", "h", "sigma"}),
+    "GSS": frozenset({"p", "r"}),
+    "TSS": frozenset({"p", "n", "f", "l"}),
+    "FAC": frozenset({"p", "r", "mu", "sigma"}),
+    "FAC2": frozenset({"p", "r"}),
+    "BOLD": frozenset({"p", "r", "h", "mu", "sigma", "m"}),
+}
+
+
+def table2_rows(techniques=TABLE2_TECHNIQUES) -> list[list[str]]:
+    """The X-matrix rows of Table II, from the implementation."""
+    rows = []
+    for label in techniques:
+        cls = get_technique(label.lower())
+        row = [label]
+        for symbol in PARAM_SYMBOLS:
+            row.append("X" if symbol in cls.requires else "")
+        rows.append(row)
+    return rows
+
+
+def format_table2(techniques=TABLE2_TECHNIQUES) -> str:
+    """Table II as ASCII (headers = Table I symbols)."""
+    headers = ["DLS"] + list(PARAM_SYMBOLS)
+    return format_table(headers, table2_rows(techniques))
+
+
+def table2_matches_publication(techniques=TABLE2_TECHNIQUES) -> dict[str, bool]:
+    """Per-technique check that ``requires`` equals the published row."""
+    out = {}
+    for label in techniques:
+        cls = get_technique(label.lower())
+        out[label] = frozenset(cls.requires) == TABLE2_PUBLISHED[label]
+    return out
+
+
+def format_table3() -> str:
+    """Table III: overview of the reproducibility experiments."""
+    from .bold_experiments import BOLD_PE_COUNTS, BOLD_TASK_COUNTS
+
+    pes = "{" + "; ".join(f"{p:,}" for p in BOLD_PE_COUNTS) + "}"
+    headers = ["Number of tasks", f"Number of PEs = {pes}"]
+    figure_by_n = {1024: 5, 8192: 6, 65536: 7, 524288: 8}
+    rows = [
+        [f"{n:,}", f"Sec. IV-B{i + 1}; Figure {figure_by_n[n]}"]
+        for i, n in enumerate(BOLD_TASK_COUNTS)
+    ]
+    return format_table(headers, rows)

@@ -1,0 +1,101 @@
+"""Replication-count analysis: how many runs does a cell need?
+
+The paper reports sample means over 1,000 runs.  Whether 1,000 is enough
+depends on the cell: SS's wasted time is overhead-dominated and nearly
+deterministic, while FAC at p=2 is heavy-tailed (Figure 9).  These
+helpers quantify that:
+
+* :func:`running_mean` — the mean as a function of the number of runs;
+* :func:`required_runs` — runs needed for a target CI half-width;
+* :func:`convergence_report` — a table of both for a sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def running_mean(values: Sequence[float]) -> np.ndarray:
+    """Mean of the first k values, for every k."""
+    xs = np.asarray(values, dtype=float)
+    if xs.size == 0:
+        raise ValueError("values must be non-empty")
+    return np.cumsum(xs) / np.arange(1, xs.size + 1)
+
+
+def half_width(values: Sequence[float], z: float = 1.96) -> float:
+    """Normal-approximation CI half-width of the mean."""
+    xs = np.asarray(values, dtype=float)
+    if xs.size < 2:
+        return math.inf
+    return z * xs.std(ddof=1) / math.sqrt(xs.size)
+
+
+def required_runs(
+    values: Sequence[float],
+    relative_precision: float = 0.05,
+    z: float = 1.96,
+) -> int:
+    """Estimated runs for a CI half-width of ``relative_precision * mean``.
+
+    Uses the pilot sample's variance; a heavy-tailed cell (Figure 9's
+    FAC) will request orders of magnitude more runs than SS.
+    """
+    xs = np.asarray(values, dtype=float)
+    if xs.size < 2:
+        raise ValueError("need a pilot sample of at least two runs")
+    if not 0 < relative_precision:
+        raise ValueError("relative_precision must be positive")
+    mean = xs.mean()
+    if mean == 0:
+        raise ValueError("cannot target relative precision of a zero mean")
+    sigma = xs.std(ddof=1)
+    target = abs(relative_precision * mean)
+    return max(2, math.ceil((z * sigma / target) ** 2))
+
+
+@dataclass(frozen=True)
+class ConvergenceInfo:
+    """Summary of a sample's convergence behaviour."""
+
+    runs: int
+    mean: float
+    half_width: float
+    relative_half_width: float
+    runs_for_5_percent: int
+    runs_for_1_percent: int
+
+
+def analyze_convergence(values: Sequence[float]) -> ConvergenceInfo:
+    """One-call convergence summary of a per-run metric sample."""
+    xs = np.asarray(values, dtype=float)
+    hw = half_width(xs)
+    mean = float(xs.mean())
+    return ConvergenceInfo(
+        runs=int(xs.size),
+        mean=mean,
+        half_width=hw,
+        relative_half_width=hw / abs(mean) if mean else math.inf,
+        runs_for_5_percent=required_runs(xs, 0.05),
+        runs_for_1_percent=required_runs(xs, 0.01),
+    )
+
+
+def convergence_report(samples: dict[str, Sequence[float]]) -> str:
+    """ASCII table of convergence info per labelled sample."""
+    lines = [
+        f"{'cell':>16} {'runs':>6} {'mean':>10} {'±CI':>9} "
+        f"{'rel':>7} {'n(5%)':>8} {'n(1%)':>9}"
+    ]
+    for label, values in samples.items():
+        info = analyze_convergence(values)
+        lines.append(
+            f"{label:>16} {info.runs:>6} {info.mean:>10.3f} "
+            f"{info.half_width:>9.3f} {info.relative_half_width * 100:>6.1f}% "
+            f"{info.runs_for_5_percent:>8} {info.runs_for_1_percent:>9}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Discrepancy metrics (Figures 5c/5d .. 8c/8d of the paper).
+
+The paper compares its SimGrid-MSG values against the values of the
+original publication:
+
+* *discrepancy* — the signed difference in seconds,
+  ``simulated - published`` ("a positive difference indicates that the
+  present simulation runs slower");
+* *relative discrepancy* — the discrepancy as a percentage of the
+  published value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+def discrepancy(simulated: float, published: float) -> float:
+    """Signed difference ``simulated - published`` in seconds."""
+    return simulated - published
+
+
+def relative_discrepancy(simulated: float, published: float) -> float:
+    """Signed percentage difference relative to the published value."""
+    if published == 0:
+        raise ValueError("published value must be non-zero")
+    return (simulated - published) / published * 100.0
+
+
+@dataclass(frozen=True)
+class DiscrepancyRow:
+    """Discrepancies of one technique across a sweep (e.g. over PEs)."""
+
+    technique: str
+    keys: tuple            # sweep points, e.g. PE counts
+    simulated: tuple[float, ...]
+    published: tuple[float, ...]
+
+    @property
+    def discrepancies(self) -> tuple[float, ...]:
+        return tuple(
+            discrepancy(s, p) for s, p in zip(self.simulated, self.published)
+        )
+
+    @property
+    def relative_discrepancies(self) -> tuple[float, ...]:
+        return tuple(
+            relative_discrepancy(s, p)
+            for s, p in zip(self.simulated, self.published)
+        )
+
+    @property
+    def max_abs_discrepancy(self) -> float:
+        return max(abs(d) for d in self.discrepancies)
+
+    @property
+    def max_abs_relative_discrepancy(self) -> float:
+        return max(abs(d) for d in self.relative_discrepancies)
+
+
+def discrepancy_table(
+    simulated: Mapping[str, Sequence[float]],
+    published: Mapping[str, Sequence[float]],
+    keys: Sequence,
+) -> list[DiscrepancyRow]:
+    """Build per-technique discrepancy rows for a sweep.
+
+    Both mappings go technique -> one value per sweep key; techniques
+    missing from either side are skipped.
+    """
+    rows = []
+    for technique in simulated:
+        if technique not in published:
+            continue
+        sim = tuple(float(v) for v in simulated[technique])
+        pub = tuple(float(v) for v in published[technique])
+        if len(sim) != len(keys) or len(pub) != len(keys):
+            raise ValueError(
+                f"{technique}: need {len(keys)} values, got "
+                f"{len(sim)} simulated / {len(pub)} published"
+            )
+        rows.append(
+            DiscrepancyRow(
+                technique=technique,
+                keys=tuple(keys),
+                simulated=sim,
+                published=pub,
+            )
+        )
+    return rows
+
+
+def max_abs_relative_discrepancy(
+    rows: Sequence[DiscrepancyRow],
+    exclude: Sequence[tuple[str, object]] = (),
+) -> float:
+    """The worst |relative discrepancy| over a set of rows.
+
+    ``exclude`` lists ``(technique, key)`` pairs left out of the maximum —
+    the paper excludes the FAC / 2 PEs outlier in the 524288-task
+    experiment.
+    """
+    worst = 0.0
+    excluded = set(exclude)
+    for row in rows:
+        for key, rel in zip(row.keys, row.relative_discrepancies):
+            if (row.technique, key) in excluded:
+                continue
+            if math.isfinite(rel):
+                worst = max(worst, abs(rel))
+    return worst

@@ -1,0 +1,190 @@
+"""Statistical machinery for verification via reproducibility.
+
+The paper compares sample means visually (discrepancy plots).  This
+module adds the formal counterpart used by the cross-validation tests
+and the campaign reports:
+
+* :func:`welch_t_test` — are two simulators' mean wasted times
+  compatible?  (Welch's unequal-variance t-test.)
+* :func:`bootstrap_ci` — a percentile bootstrap confidence interval for
+  a sample statistic (robust for the heavy-tailed FAC cells of Fig. 9).
+* :func:`ks_two_sample` — do the two simulators produce the same *per
+  run* wasted-time distribution, not just the same mean?
+* :func:`equivalence_report` — one-call summary combining the above.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    """Welch's t-test outcome."""
+
+    statistic: float
+    degrees_of_freedom: float
+    p_value: float
+    mean_difference: float
+
+    def compatible(self, alpha: float = 0.01) -> bool:
+        """True when the means are statistically indistinguishable."""
+        return self.p_value >= alpha
+
+
+def welch_t_test(a: Sequence[float], b: Sequence[float]) -> TTestResult:
+    """Welch's unequal-variance two-sample t-test on the means.
+
+    The p-value uses the Student-t survival function (via SciPy when
+    available, otherwise a normal approximation, which is accurate for
+    the degrees of freedom the campaigns produce).
+    """
+    xa = np.asarray(a, dtype=float)
+    xb = np.asarray(b, dtype=float)
+    if xa.size < 2 or xb.size < 2:
+        raise ValueError("need at least two observations per sample")
+    va = xa.var(ddof=1) / xa.size
+    vb = xb.var(ddof=1) / xb.size
+    diff = float(xa.mean() - xb.mean())
+    denom = math.sqrt(va + vb)
+    if denom == 0:
+        # Identical constant samples: means equal iff diff == 0.
+        p = 1.0 if diff == 0 else 0.0
+        return TTestResult(0.0 if diff == 0 else math.inf, math.inf, p, diff)
+    t = diff / denom
+    dof_num = (va + vb) ** 2
+    dof_den = va**2 / (xa.size - 1) + vb**2 / (xb.size - 1)
+    dof = dof_num / dof_den if dof_den > 0 else math.inf
+    p = 2.0 * _t_sf(abs(t), dof)
+    return TTestResult(t, dof, p, diff)
+
+
+def _t_sf(t: float, dof: float) -> float:
+    """Student-t survival function, SciPy-backed with a normal fallback."""
+    try:
+        from scipy import stats
+
+        return float(stats.t.sf(t, dof))
+    except ImportError:  # pragma: no cover - scipy ships with the env
+        return 0.5 * math.erfc(t / math.sqrt(2.0))
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """Percentile bootstrap confidence interval."""
+
+    statistic: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(
+    sample: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int | None = 0,
+) -> BootstrapCI:
+    """Percentile bootstrap CI for ``statistic`` of ``sample``."""
+    xs = np.asarray(sample, dtype=float)
+    if xs.size == 0:
+        raise ValueError("sample must be non-empty")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, xs.size, size=(resamples, xs.size))
+    values = np.apply_along_axis(statistic, 1, xs[idx])
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(values, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        statistic=float(statistic(xs)),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+@dataclass(frozen=True)
+class KsResult:
+    """Two-sample Kolmogorov-Smirnov outcome."""
+
+    statistic: float
+    p_value: float
+
+    def compatible(self, alpha: float = 0.01) -> bool:
+        return self.p_value >= alpha
+
+
+def ks_two_sample(a: Sequence[float], b: Sequence[float]) -> KsResult:
+    """Two-sample KS test on the per-run distributions."""
+    xa = np.sort(np.asarray(a, dtype=float))
+    xb = np.sort(np.asarray(b, dtype=float))
+    if xa.size == 0 or xb.size == 0:
+        raise ValueError("samples must be non-empty")
+    pooled = np.concatenate([xa, xb])
+    cdf_a = np.searchsorted(xa, pooled, side="right") / xa.size
+    cdf_b = np.searchsorted(xb, pooled, side="right") / xb.size
+    d = float(np.max(np.abs(cdf_a - cdf_b)))
+    n_eff = xa.size * xb.size / (xa.size + xb.size)
+    p = _ks_p_value(d, n_eff)
+    return KsResult(statistic=d, p_value=p)
+
+
+def _ks_p_value(d: float, n_eff: float) -> float:
+    """Asymptotic Kolmogorov distribution tail (two-sided)."""
+    lam = (math.sqrt(n_eff) + 0.12 + 0.11 / math.sqrt(n_eff)) * d
+    if lam <= 0:
+        return 1.0
+    total = 0.0
+    for k in range(1, 101):
+        term = 2.0 * (-1) ** (k - 1) * math.exp(-2.0 * k * k * lam * lam)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return min(1.0, max(0.0, total))
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Combined evidence that two implementations agree."""
+
+    t_test: TTestResult
+    ks: KsResult
+    ci_a: BootstrapCI
+    ci_b: BootstrapCI
+    relative_mean_difference: float
+
+    def agree(self, alpha: float = 0.01,
+              max_relative_difference: float = 0.15) -> bool:
+        """Mean and distribution compatible, means within a band."""
+        return (
+            self.t_test.compatible(alpha)
+            and self.ks.compatible(alpha)
+            and abs(self.relative_mean_difference) <= max_relative_difference
+        )
+
+
+def equivalence_report(a: Sequence[float],
+                       b: Sequence[float]) -> EquivalenceReport:
+    """Full statistical comparison of two campaigns' per-run metrics."""
+    xa = np.asarray(a, dtype=float)
+    xb = np.asarray(b, dtype=float)
+    mean_b = xb.mean()
+    rel = float((xa.mean() - mean_b) / mean_b) if mean_b else math.inf
+    return EquivalenceReport(
+        t_test=welch_t_test(a, b),
+        ks=ks_two_sample(a, b),
+        ci_a=bootstrap_ci(a),
+        ci_b=bootstrap_ci(b),
+        relative_mean_difference=rel,
+    )

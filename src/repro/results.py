@@ -1,0 +1,74 @@
+"""Run results shared by the direct and the SimGrid-MSG-like simulators.
+
+Both simulators produce the same observables — makespan, per-worker
+compute times, chunk counts — so that the cross-validation of the two
+implementations (the verification-via-reproducibility methodology of the
+paper) compares like with like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .core.base import ChunkRecord
+from .metrics.wasted_time import OverheadModel, average_wasted_time
+
+
+@dataclass(frozen=True)
+class ChunkExecution:
+    """One executed chunk: scheduling record plus its simulated timing."""
+
+    record: ChunkRecord
+    start_time: float
+    elapsed: float
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.elapsed
+
+
+@dataclass
+class RunResult:
+    """Outcome of a single simulated run."""
+
+    technique: str
+    n: int
+    p: int
+    h: float
+    overhead_model: OverheadModel
+    makespan: float
+    compute_times: list[float]
+    chunks_per_worker: list[int]
+    num_chunks: int
+    total_task_time: float
+    chunk_log: list[ChunkExecution] = field(default_factory=list)
+    #: extra per-run observables (message counts, comm time, ...)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def average_wasted_time(self) -> float:
+        """The paper's per-run metric (Section III-B accounting)."""
+        return average_wasted_time(
+            self.makespan,
+            self.compute_times,
+            self.num_chunks,
+            self.h,
+            self.overhead_model,
+        )
+
+    @property
+    def wasted_times(self) -> list[float]:
+        """Per-worker wasted time (idle, plus overhead where in-model)."""
+        return [self.makespan - c for c in self.compute_times]
+
+    @property
+    def speedup(self) -> float:
+        """Serial task time over makespan (ideal = p)."""
+        if self.makespan <= 0:
+            return float(self.p)
+        return self.total_task_time / self.makespan
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup divided by the number of PEs."""
+        return self.speedup / self.p

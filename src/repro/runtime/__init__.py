@@ -1,0 +1,5 @@
+"""Real execution backend: DLS-chunked thread pools for actual work."""
+
+from .executor import DLSExecutor, ExecutionReport, dls_map
+
+__all__ = ["DLSExecutor", "ExecutionReport", "dls_map"]

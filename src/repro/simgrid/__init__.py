@@ -1,0 +1,104 @@
+"""A from-scratch SimGrid-MSG-like simulator (engine, platform, MSG layer,
+master-worker DLS application)."""
+
+from .app import (
+    ApplicationConfig,
+    run_from_files,
+    simulation_from_files,
+    split_deployment,
+)
+from .engine import Effect, Engine, Process, SimulationError, Timeout
+from .masterworker import (
+    MasterWorkerConfig,
+    MasterWorkerSimulation,
+    replicate_msg,
+)
+from .msg import (
+    ComputeTask,
+    Execute,
+    Mailbox,
+    Message,
+    Receive,
+    Send,
+)
+from .network import ContendedSend, Flow, FlowNetwork, max_min_rates
+from .platform import (
+    Host,
+    Link,
+    Platform,
+    Route,
+    cluster_platform,
+    fast_network_platform,
+    star_platform,
+)
+from .trace import SimulationTrace, WorkerTrace
+from .visualization import (
+    ascii_gantt,
+    paje_trace,
+    save_paje_trace,
+    utilization_summary,
+    worker_timelines,
+)
+from .xmlio import (
+    ProcessPlacement,
+    deployment_to_xml,
+    load_deployment,
+    load_platform,
+    loads_deployment,
+    loads_platform,
+    master_worker_deployment,
+    parse_bandwidth,
+    parse_latency,
+    parse_speed,
+    platform_to_xml,
+)
+
+__all__ = [
+    "ApplicationConfig",
+    "ComputeTask",
+    "ContendedSend",
+    "Flow",
+    "FlowNetwork",
+    "max_min_rates",
+    "run_from_files",
+    "simulation_from_files",
+    "split_deployment",
+    "Effect",
+    "Engine",
+    "Execute",
+    "Host",
+    "Link",
+    "Mailbox",
+    "MasterWorkerConfig",
+    "MasterWorkerSimulation",
+    "Message",
+    "Platform",
+    "Process",
+    "ProcessPlacement",
+    "Receive",
+    "Route",
+    "Send",
+    "SimulationError",
+    "SimulationTrace",
+    "Timeout",
+    "WorkerTrace",
+    "ascii_gantt",
+    "cluster_platform",
+    "paje_trace",
+    "save_paje_trace",
+    "utilization_summary",
+    "worker_timelines",
+    "deployment_to_xml",
+    "fast_network_platform",
+    "load_deployment",
+    "load_platform",
+    "loads_deployment",
+    "loads_platform",
+    "master_worker_deployment",
+    "parse_bandwidth",
+    "parse_latency",
+    "parse_speed",
+    "platform_to_xml",
+    "replicate_msg",
+    "star_platform",
+]

@@ -1,0 +1,222 @@
+"""Flow-level network model with bandwidth contention.
+
+The basic :class:`~repro.simgrid.msg.Send` effect prices a transfer at
+``latency + size / bottleneck`` *independently* of concurrent traffic.
+SimGrid's flow model instead shares each link's bandwidth among the
+flows crossing it.  :class:`FlowNetwork` implements that sharing with
+the classic progressive-filling (max-min fairness) algorithm:
+
+1. every unsaturated link divides its remaining capacity equally among
+   its unfrozen flows;
+2. the link offering the smallest share saturates first — its flows are
+   frozen at that rate;
+3. repeat until all flows are frozen.
+
+Rates are recomputed whenever a flow starts or finishes; in-flight flows
+carry their remaining bytes across recomputations.  Event cancellation
+is implemented by versioning (the engine's heap entries are immutable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .engine import Effect, Engine, Process
+from .msg import Mailbox, Message
+from .platform import Host, Link, Platform, Route
+
+
+@dataclass
+class Flow:
+    """One in-progress transfer."""
+
+    id: int
+    route: Route
+    remaining: float                    # bytes still to transfer
+    on_complete: Callable[[], None]
+    rate: float = 0.0                   # bytes/s under the current sharing
+    version: int = 0                    # bumps on every rate change
+    started_at: float = 0.0
+
+    def eta(self) -> float:
+        """Seconds until completion at the current rate."""
+        if self.remaining <= 0:
+            return 0.0
+        if self.rate <= 0:
+            return float("inf")
+        return self.remaining / self.rate
+
+
+def max_min_rates(flows: list[Flow]) -> dict[int, float]:
+    """Max-min fair rates for ``flows`` (progressive filling).
+
+    Returns flow id -> rate in bytes/s.  Flows with empty routes
+    (loopback) get infinite rate.
+    """
+    rates: dict[int, float] = {}
+    unfrozen = [f for f in flows if f.route.links]
+    for f in flows:
+        if not f.route.links:
+            rates[f.id] = float("inf")
+    remaining_capacity: dict[Link, float] = {}
+    link_flows: dict[Link, list[Flow]] = {}
+    for f in unfrozen:
+        for link in f.route.links:
+            remaining_capacity.setdefault(link, link.bandwidth)
+            link_flows.setdefault(link, []).append(f)
+    frozen: set[int] = set()
+    while len(frozen) < len(unfrozen):
+        # Share offered by each link to its active flows.
+        best_share = None
+        for link, fs in link_flows.items():
+            active = [f for f in fs if f.id not in frozen]
+            if not active:
+                continue
+            share = remaining_capacity[link] / len(active)
+            if best_share is None or share < best_share:
+                best_share = share
+        if best_share is None:
+            break
+        # Freeze every flow crossing a link that offers exactly the
+        # minimal share.
+        newly_frozen: list[Flow] = []
+        for link, fs in link_flows.items():
+            active = [f for f in fs if f.id not in frozen]
+            if not active:
+                continue
+            share = remaining_capacity[link] / len(active)
+            if share <= best_share * (1 + 1e-12):
+                newly_frozen.extend(active)
+        for f in newly_frozen:
+            if f.id in frozen:
+                continue
+            frozen.add(f.id)
+            rates[f.id] = best_share
+            for link in f.route.links:
+                remaining_capacity[link] -= best_share
+                remaining_capacity[link] = max(0.0, remaining_capacity[link])
+    return rates
+
+
+class FlowNetwork:
+    """Tracks active flows and drives their completions on the engine."""
+
+    def __init__(self, engine: Engine, platform: Platform):
+        self.engine = engine
+        self.platform = platform
+        self._flows: dict[int, Flow] = {}
+        self._next_id = 0
+        self._last_update = engine.now
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def start_flow(self, src: str, dst: str, size: float,
+                   on_complete: Callable[[], None]) -> int:
+        """Begin transferring ``size`` bytes; fire ``on_complete`` at end.
+
+        The route's total latency is charged up front (the flow's bytes
+        start moving after it); bandwidth is then shared max-min fairly.
+        """
+        if size < 0:
+            raise ValueError("size must be >= 0")
+        route = self.platform.route(src, dst)
+        flow_id = self._next_id
+        self._next_id += 1
+        latency = sum(link.latency for link in route.links)
+
+        def begin() -> None:
+            flow = Flow(
+                id=flow_id,
+                route=route,
+                remaining=float(size),
+                on_complete=on_complete,
+                started_at=self.engine.now,
+            )
+            self._flows[flow_id] = flow
+            self._reshare()
+
+        self.engine.schedule(latency, begin)
+        return flow_id
+
+    # -- internals ---------------------------------------------------------
+    def _advance_progress(self) -> None:
+        """Drain bytes transferred since the last rate change."""
+        dt = self.engine.now - self._last_update
+        if dt > 0:
+            for flow in self._flows.values():
+                if flow.rate == float("inf"):
+                    flow.remaining = 0.0
+                else:
+                    flow.remaining = max(
+                        0.0, flow.remaining - flow.rate * dt
+                    )
+        self._last_update = self.engine.now
+
+    def _reshare(self) -> None:
+        """Recompute all rates and (re)schedule completions."""
+        self._advance_progress()
+        rates = max_min_rates(list(self._flows.values()))
+        for flow in self._flows.values():
+            flow.rate = rates.get(flow.id, 0.0)
+            flow.version += 1
+            self._schedule_completion(flow)
+
+    def _schedule_completion(self, flow: Flow) -> None:
+        eta = flow.eta()
+        if eta == float("inf"):
+            return
+        version = flow.version
+
+        def complete() -> None:
+            current = self._flows.get(flow.id)
+            if current is None or current.version != version:
+                return  # stale event: rates changed since scheduling
+            self._advance_progress()
+            del self._flows[flow.id]
+            flow.on_complete()
+            self._reshare()
+
+        self.engine.schedule(eta, complete)
+
+
+class ContendedSend(Effect):
+    """Blocking send through a :class:`FlowNetwork`.
+
+    Drop-in replacement for :class:`~repro.simgrid.msg.Send` whose
+    transfer time depends on concurrent traffic: the sender resumes and
+    the message is delivered when the flow's bytes have drained under
+    max-min fair sharing.
+    """
+
+    __slots__ = ("network", "src_host", "mailbox", "payload", "size")
+
+    def __init__(self, network: FlowNetwork, src_host: Host,
+                 mailbox: Mailbox, payload: Any, size: float):
+        if size < 0:
+            raise ValueError("message size must be >= 0")
+        self.network = network
+        self.src_host = src_host
+        self.mailbox = mailbox
+        self.payload = payload
+        self.size = size
+
+    def apply(self, engine: Engine, process: Process) -> None:
+        sent_at = engine.now
+
+        def complete() -> None:
+            message = Message(
+                payload=self.payload,
+                source=self.src_host.name,
+                size=self.size,
+                sent_at=sent_at,
+                delivered_at=engine.now,
+            )
+            self.mailbox.deliver(message)
+            process.resume(None)
+
+        self.network.start_flow(
+            self.src_host.name, self.mailbox.host.name, self.size, complete
+        )

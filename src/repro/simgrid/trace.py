@@ -1,0 +1,63 @@
+"""Per-worker time accounting for the master-worker simulation.
+
+Mirrors what the paper measures (Section IV-B): for each run the overall
+simulation time and, per worker, the time spent in computation; derived
+from those, the per-worker wasted (idle) time.  Additionally records the
+observables the event-driven simulator can see but the direct simulator
+cannot: message counts and time spent communicating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WorkerTrace:
+    """Accumulated times of one simulated worker."""
+
+    worker: int
+    compute_time: float = 0.0
+    task_time: float = 0.0     # unscaled task-time seconds (serial work)
+    wait_time: float = 0.0     # request-to-reply round trips (comm + queueing)
+    chunks: int = 0
+    tasks: int = 0
+    requests: int = 0
+    first_request_at: float | None = None
+    finalized_at: float | None = None
+
+    def record_request(self, at: float) -> None:
+        self.requests += 1
+        if self.first_request_at is None:
+            self.first_request_at = at
+
+    def record_chunk(self, size: int, elapsed: float, task_time: float) -> None:
+        self.chunks += 1
+        self.tasks += size
+        self.compute_time += elapsed
+        self.task_time += task_time
+
+
+@dataclass
+class SimulationTrace:
+    """All per-worker traces plus master-side counters."""
+
+    workers: list[WorkerTrace] = field(default_factory=list)
+    master_messages: int = 0
+    master_busy_time: float = 0.0
+
+    @classmethod
+    def for_workers(cls, p: int) -> "SimulationTrace":
+        return cls(workers=[WorkerTrace(worker=i) for i in range(p)])
+
+    @property
+    def compute_times(self) -> list[float]:
+        return [w.compute_time for w in self.workers]
+
+    @property
+    def chunks_per_worker(self) -> list[int]:
+        return [w.chunks for w in self.workers]
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(w.tasks for w in self.workers)

@@ -1,0 +1,170 @@
+"""Schedule visualisation: ASCII Gantt charts and Paje trace export.
+
+SimGrid exports Paje traces for visualisation in Vite/Paje; this module
+provides the same capability for the chunk-execution logs both
+simulators can record (``record_chunks=True``), plus a terminal Gantt
+renderer for quick inspection of load balance.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..results import ChunkExecution, RunResult
+
+
+def ascii_gantt(
+    result: RunResult,
+    width: int = 72,
+    max_workers: int = 32,
+) -> str:
+    """Render a run's chunk executions as a per-worker timeline.
+
+    Each worker gets one row; chunk executions are painted with cycling
+    glyphs so adjacent chunks are distinguishable; idle time shows as
+    dots.  Requires the run to have been recorded with
+    ``record_chunks=True``.
+    """
+    if not result.chunk_log:
+        raise ValueError(
+            "run has no chunk log; simulate with record_chunks=True"
+        )
+    makespan = result.makespan
+    if makespan <= 0:
+        return "(empty schedule)"
+    glyphs = "#=@%+*"
+    rows = []
+    by_worker: dict[int, list[ChunkExecution]] = {}
+    for ce in result.chunk_log:
+        by_worker.setdefault(ce.record.worker, []).append(ce)
+    shown = sorted(by_worker)[:max_workers]
+    for worker in range(result.p):
+        if worker not in by_worker:
+            if worker < max_workers:
+                rows.append(f"w{worker:<3}|" + "." * width + "|")
+            continue
+        if worker not in shown:
+            continue
+        line = ["."] * width
+        for i, ce in enumerate(by_worker[worker]):
+            a = int(ce.start_time / makespan * width)
+            b = int(ce.end_time / makespan * width)
+            b = max(b, a + 1)
+            glyph = glyphs[i % len(glyphs)]
+            for pos in range(a, min(b, width)):
+                line[pos] = glyph
+        rows.append(f"w{worker:<3}|" + "".join(line) + "|")
+    if result.p > max_workers:
+        rows.append(f"... ({result.p - max_workers} more workers)")
+    header = (
+        f"{result.technique}: n={result.n}, p={result.p}, "
+        f"makespan={makespan:.3f}s, {result.num_chunks} chunks"
+    )
+    scale = f"    0{'':{width - 10}}{makespan:>9.2f}s"
+    return "\n".join([header, *rows, scale])
+
+
+def utilization_summary(result: RunResult) -> str:
+    """One line per worker: busy fraction and chunk count."""
+    lines = [f"{'worker':>7} {'busy%':>7} {'chunks':>7} {'compute[s]':>11}"]
+    for w in range(result.p):
+        busy = (
+            result.compute_times[w] / result.makespan * 100
+            if result.makespan > 0
+            else 0.0
+        )
+        lines.append(
+            f"{w:>7} {busy:>6.1f}% {result.chunks_per_worker[w]:>7} "
+            f"{result.compute_times[w]:>11.3f}"
+        )
+    return "\n".join(lines)
+
+
+# -- Paje export ------------------------------------------------------------
+
+_PAJE_HEADER = """\
+%EventDef PajeDefineContainerType 0
+%       Alias string
+%       Type string
+%       Name string
+%EndEventDef
+%EventDef PajeDefineStateType 1
+%       Alias string
+%       Type string
+%       Name string
+%EndEventDef
+%EventDef PajeCreateContainer 2
+%       Time date
+%       Alias string
+%       Type string
+%       Container string
+%       Name string
+%EndEventDef
+%EventDef PajeSetState 3
+%       Time date
+%       Type string
+%       Container string
+%       Value string
+%EndEventDef
+%EventDef PajeDestroyContainer 4
+%       Time date
+%       Type string
+%       Name string
+%EndEventDef
+"""
+
+
+def paje_trace(result: RunResult) -> str:
+    """Serialise a recorded run to a Paje trace (SimGrid's format).
+
+    Containers: one per worker.  States: ``compute`` during chunk
+    execution, ``idle`` otherwise.  Loadable by Paje/Vite-compatible
+    tools.
+    """
+    if not result.chunk_log:
+        raise ValueError(
+            "run has no chunk log; simulate with record_chunks=True"
+        )
+    out = [_PAJE_HEADER]
+    out.append('0 CT_Platform 0 "Platform"')
+    out.append('0 CT_Worker CT_Platform "Worker"')
+    out.append('1 ST_WorkerState CT_Worker "Worker State"')
+    out.append('2 0.000000 C_platform CT_Platform 0 "platform"')
+    for w in range(result.p):
+        out.append(
+            f'2 0.000000 C_w{w} CT_Worker C_platform "worker-{w}"'
+        )
+        out.append(f'3 0.000000 ST_WorkerState C_w{w} "idle"')
+    events: list[tuple[float, int, str]] = []
+    for ce in sorted(result.chunk_log, key=lambda c: c.start_time):
+        w = ce.record.worker
+        events.append((ce.start_time, 1, f'ST_WorkerState C_w{w} "compute"'))
+        events.append((ce.end_time, 0, f'ST_WorkerState C_w{w} "idle"'))
+    events.sort(key=lambda e: (e[0], e[1]))
+    for time, _, body in events:
+        out.append(f"3 {time:.6f} {body}")
+    for w in range(result.p):
+        out.append(f"4 {result.makespan:.6f} CT_Worker C_w{w}")
+    out.append(f"4 {result.makespan:.6f} CT_Platform C_platform")
+    return "\n".join(out) + "\n"
+
+
+def save_paje_trace(result: RunResult, path: str | Path) -> None:
+    """Write :func:`paje_trace` output to ``path``."""
+    Path(path).write_text(paje_trace(result))
+
+
+def worker_timelines(result: RunResult) -> dict[int, list[tuple[float, float]]]:
+    """Per-worker (start, end) execution windows from the chunk log."""
+    if not result.chunk_log:
+        raise ValueError(
+            "run has no chunk log; simulate with record_chunks=True"
+        )
+    out: dict[int, list[tuple[float, float]]] = {
+        w: [] for w in range(result.p)
+    }
+    for ce in result.chunk_log:
+        out[ce.record.worker].append((ce.start_time, ce.end_time))
+    for windows in out.values():
+        windows.sort()
+    return out

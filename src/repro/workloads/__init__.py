@@ -1,0 +1,43 @@
+"""Workload (task execution time) generation — Figure 2's application inputs."""
+
+from .distributions import (
+    BimodalWorkload,
+    ConstantWorkload,
+    ExponentialWorkload,
+    GammaWorkload,
+    LinearWorkload,
+    NormalWorkload,
+    PerTaskSampling,
+    TraceWorkload,
+    UniformWorkload,
+    Workload,
+    decreasing_workload,
+    increasing_workload,
+)
+from .generator import make_rng, run_seed, spawn_seeds
+from .hagerup import HagerupExponentialWorkload
+from .rand48 import Rand48
+from .traces import load_trace, load_trace_workload, save_trace
+
+__all__ = [
+    "BimodalWorkload",
+    "ConstantWorkload",
+    "ExponentialWorkload",
+    "GammaWorkload",
+    "HagerupExponentialWorkload",
+    "LinearWorkload",
+    "NormalWorkload",
+    "PerTaskSampling",
+    "Rand48",
+    "TraceWorkload",
+    "UniformWorkload",
+    "Workload",
+    "decreasing_workload",
+    "increasing_workload",
+    "load_trace",
+    "load_trace_workload",
+    "make_rng",
+    "run_seed",
+    "save_trace",
+    "spawn_seeds",
+]

@@ -1,0 +1,35 @@
+"""Seed and RNG management for reproducible replication campaigns.
+
+Every stochastic component of this package takes an explicit seed.
+Replications spawn independent child streams with
+``numpy.random.SeedSequence`` so runs are reproducible regardless of how
+they are distributed over processes (the role the HPC cluster *taurus*
+played for the original measurement campaign).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.SeedSequence | None) -> np.random.Generator:
+    """A PCG64 generator from a seed (None = OS entropy)."""
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(seed: int | None, count: int) -> list[np.random.SeedSequence]:
+    """``count`` independent child seed sequences of ``seed``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return np.random.SeedSequence(seed).spawn(count)
+
+
+def run_seed(campaign_seed: int | None, run_index: int) -> np.random.SeedSequence:
+    """The seed of replication ``run_index`` within a campaign.
+
+    Deterministic in ``(campaign_seed, run_index)`` and independent across
+    indices, so a campaign can be resumed or sharded across workers.
+    """
+    if run_index < 0:
+        raise ValueError("run_index must be non-negative")
+    return np.random.SeedSequence(campaign_seed).spawn(run_index + 1)[run_index]

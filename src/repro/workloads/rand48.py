@@ -1,0 +1,83 @@
+"""Exact reproduction of the POSIX ``rand48`` generator family.
+
+The BOLD publication (Hagerup, 1997) generated its task execution times
+"with the aid of the random number generators ``erand48`` and ``nrand48``".
+This module reproduces the 48-bit linear congruential generator bit-for-bit
+so that, given a seed, our direct simulator consumes the same random stream
+a C implementation would:
+
+.. math::
+
+   X_{n+1} = (a X_n + c) \\bmod 2^{48},
+   \\quad a = \\texttt{0x5DEECE66D}, \\; c = \\texttt{0xB}
+
+* ``erand48`` returns ``X / 2^48`` as a double in ``[0, 1)``;
+* ``nrand48`` returns the high 31 bits (``X >> 17``);
+* ``srand48(seed)`` sets ``X = (seed << 16) | 0x330E``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+_A = 0x5DEECE66D
+_C = 0xB
+_MASK = (1 << 48) - 1
+_SRAND48_PAD = 0x330E
+
+
+class Rand48:
+    """A drand48-family generator with explicit 48-bit state."""
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int = 0):
+        """Seed like ``srand48``: the 32-bit ``seed`` fills the high bits."""
+        self.state = ((seed & 0xFFFFFFFF) << 16) | _SRAND48_PAD
+
+    @classmethod
+    def from_xsubi(cls, xsubi: int) -> "Rand48":
+        """Construct from a raw 48-bit state (the ``xsubi[3]`` of POSIX)."""
+        gen = cls.__new__(cls)
+        gen.state = xsubi & _MASK
+        return gen
+
+    def _step(self) -> int:
+        self.state = (_A * self.state + _C) & _MASK
+        return self.state
+
+    def erand48(self) -> float:
+        """Uniform double in [0, 1) — the full 48 bits."""
+        return self._step() / float(1 << 48)
+
+    def nrand48(self) -> int:
+        """Non-negative long in [0, 2**31) — the high 31 bits."""
+        return self._step() >> 17
+
+    def drand48(self) -> float:
+        """Alias of :meth:`erand48` (shared state in this model)."""
+        return self.erand48()
+
+    def exponential(self, mean: float = 1.0) -> float:
+        """Exponential variate by inversion, as a late-90s C program would.
+
+        Uses ``-mean * log(1 - u)``; ``u`` from ``erand48`` is < 1 so the
+        logarithm is always defined.
+        """
+        return -mean * math.log(1.0 - self.erand48())
+
+    def exponential_array(self, size: int, mean: float = 1.0) -> np.ndarray:
+        """``size`` sequential exponential variates as a NumPy array."""
+        out = np.empty(size, dtype=np.float64)
+        for i in range(size):
+            out[i] = self.exponential(mean)
+        return out
+
+    def uniform_array(self, size: int) -> np.ndarray:
+        """``size`` sequential erand48 draws as a NumPy array."""
+        out = np.empty(size, dtype=np.float64)
+        for i in range(size):
+            out[i] = self.erand48()
+        return out

@@ -1,0 +1,55 @@
+"""Task-time trace files.
+
+Section III of the paper notes that reproducing application measurements
+requires "a trace file or similar information describing the behavior of
+the measured application".  These helpers read and write such traces in a
+one-float-per-line text format (comment lines start with ``#``) and in
+NumPy ``.npy`` binary format.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .distributions import TraceWorkload
+
+
+def save_trace(path: str | Path, times: np.ndarray, comment: str = "") -> None:
+    """Write per-task execution times to ``path``.
+
+    ``.npy`` suffix selects binary format; anything else writes text with
+    an optional leading ``#`` comment.
+    """
+    path = Path(path)
+    times = np.asarray(times, dtype=np.float64)
+    if path.suffix == ".npy":
+        np.save(path, times)
+        return
+    with path.open("w") as fh:
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"# {line}\n")
+        for t in times:
+            fh.write(f"{float(t)!r}\n")
+
+
+def load_trace(path: str | Path) -> np.ndarray:
+    """Read per-task execution times written by :func:`save_trace`."""
+    path = Path(path)
+    if path.suffix == ".npy":
+        return np.asarray(np.load(path), dtype=np.float64)
+    values: list[float] = []
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            values.append(float(line))
+    return np.asarray(values, dtype=np.float64)
+
+
+def load_trace_workload(path: str | Path) -> TraceWorkload:
+    """Load a trace file directly as a :class:`TraceWorkload`."""
+    return TraceWorkload(load_trace(path))

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import SchedulingParams
+from repro.workloads import ConstantWorkload, ExponentialWorkload
+
+
+@pytest.fixture
+def params_small() -> SchedulingParams:
+    """A small homogeneous configuration with full statistics."""
+    return SchedulingParams(n=100, p=4, h=0.5, mu=1.0, sigma=1.0)
+
+
+@pytest.fixture
+def params_bold() -> SchedulingParams:
+    """The smallest BOLD-experiment cell."""
+    return SchedulingParams(n=1024, p=8, h=0.5, mu=1.0, sigma=1.0)
+
+
+@pytest.fixture
+def constant_workload() -> ConstantWorkload:
+    return ConstantWorkload(1.0)
+
+
+@pytest.fixture
+def exponential_workload() -> ExponentialWorkload:
+    return ExponentialWorkload(1.0)
+
+
+#: the eight techniques the BOLD publication measures
+BOLD_EIGHT = ("stat", "ss", "fsc", "gss", "tss", "fac", "fac2", "bold")
+
+#: every registered non-adaptive technique
+NON_ADAPTIVE = BOLD_EIGHT + (
+    "css", "wf", "tap", "tfss", "fiss", "viss", "rnd", "pls",
+)
+
+#: adaptive techniques (timing feedback changes behaviour)
+ADAPTIVE = ("awf", "awf-b", "awf-c", "awf-d", "awf-e", "af")
+
+ALL_TECHNIQUES = NON_ADAPTIVE + ADAPTIVE

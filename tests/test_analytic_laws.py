@@ -1,0 +1,137 @@
+"""Analytic laws of the chunk sequences.
+
+The published analyses give closed forms for scheduling-operation counts
+and chunk structures; the implementations must obey them exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.base import chunk_sizes
+from repro.core.params import SchedulingParams
+from repro.core.registry import create
+
+
+class TestChunkCountLaws:
+    def test_ss_exactly_n_operations(self):
+        for n in (1, 7, 100, 999):
+            s = create("ss", SchedulingParams(n=n, p=5))
+            chunk_sizes(s)
+            assert s.num_scheduling_operations == n
+
+    def test_stat_exactly_min_n_p_operations(self):
+        for n, p in ((100, 4), (3, 8), (64, 64)):
+            s = create("stat", SchedulingParams(n=n, p=p))
+            chunk_sizes(s)
+            assert s.num_scheduling_operations == min(
+                n, math.ceil(n / math.ceil(n / p))
+            )
+
+    def test_css_ceil_n_over_k_operations(self):
+        for n, k in ((100, 7), (1000, 100), (5, 10)):
+            s = create("css", SchedulingParams(n=n, p=4), k=k)
+            chunk_sizes(s)
+            assert s.num_scheduling_operations == math.ceil(n / k)
+
+    def test_gss_logarithmic_operations(self):
+        # GSS chunk count is Theta(p ln(n/p)): each round of p requests
+        # shrinks the remainder by factor (1-1/p)^p ~ 1/e.
+        n, p = 100_000, 16
+        s = create("gss", SchedulingParams(n=n, p=p))
+        chunk_sizes(s)
+        c = s.num_scheduling_operations
+        expected = p * math.log(n / p)
+        assert 0.5 * expected < c < 3.0 * expected + p
+
+    def test_tss_matches_planned_chunk_count(self):
+        for n, p in ((1000, 4), (10_000, 16), (100_000, 64)):
+            s = create("tss", SchedulingParams(n=n, p=p))
+            planned = s.num_planned_chunks
+            chunk_sizes(s)
+            # Rounding can add/remove a couple of chunks at the tail.
+            assert abs(s.num_scheduling_operations - planned) <= max(
+                3, planned * 0.1
+            )
+
+    def test_fac2_operations_about_2p_log(self):
+        # FAC2 halves per batch of p chunks: ~ p * log2(n/p) operations
+        # (each batch gives every PE one chunk until chunks hit 1).
+        n, p = 65_536, 8
+        s = create("fac2", SchedulingParams(n=n, p=p))
+        chunk_sizes(s)
+        c = s.num_scheduling_operations
+        expected = p * math.log2(n / p)
+        assert 0.5 * expected < c < 2.0 * expected
+
+    def test_fsc_operations_ceil_n_over_k(self):
+        params = SchedulingParams(n=4096, p=8, h=0.5, sigma=1.0)
+        s = create("fsc", params)
+        k = s.k
+        chunk_sizes(s)
+        assert s.num_scheduling_operations == math.ceil(4096 / k)
+
+
+class TestSumLaws:
+    def test_fac2_batch_sums_halve(self):
+        n, p = 4096, 4
+        s = create("fac2", SchedulingParams(n=n, p=p))
+        sizes = chunk_sizes(s)
+        # First batch sums to ~n/2, second to ~n/4, ...
+        i = 0
+        remaining = n
+        for _ in range(4):
+            batch = sizes[i:i + p]
+            if len(batch) < p:
+                break
+            total = sum(batch)
+            assert total == pytest.approx(remaining / 2, rel=0.05)
+            remaining -= total
+            i += p
+
+    def test_gss_remaining_decays_geometrically(self):
+        n, p = 10_000, 10
+        s = create("gss", SchedulingParams(n=n, p=p))
+        sizes = chunk_sizes(s)
+        remaining = n
+        for size in sizes[:20]:
+            assert size == math.ceil(remaining / p)
+            remaining -= size
+
+    def test_tss_consecutive_difference_is_delta(self):
+        s = create("tss", SchedulingParams(n=100_000, p=8),
+                   first_chunk=1000, last_chunk=100)
+        sizes = chunk_sizes(s)
+        deltas = [a - b for a, b in zip(sizes[:10], sizes[1:11])]
+        assert all(abs(d - s.delta) <= 1.0 for d in deltas)
+
+
+class TestOverheadAccountingLaws:
+    def test_post_hoc_ss_equals_hn_over_p_plus_idle(self):
+        from repro.core.registry import make_factory
+        from repro.directsim import DirectSimulator
+        from repro.workloads import ConstantWorkload
+
+        n, p, h = 1000, 8, 0.25
+        params = SchedulingParams(n=n, p=p, h=h)
+        result = DirectSimulator(params, ConstantWorkload(1.0)).run(
+            make_factory("ss")
+        )
+        idle = sum(result.wasted_times) / p
+        assert result.average_wasted_time == pytest.approx(
+            idle + h * n / p
+        )
+
+    def test_makespan_lower_bound(self):
+        """Makespan >= total work / p for every technique (homogeneous)."""
+        from repro.core.registry import make_factory
+        from repro.directsim import DirectSimulator
+        from repro.workloads import ExponentialWorkload
+
+        params = SchedulingParams(n=512, p=8, h=0.0, mu=1.0, sigma=1.0)
+        sim = DirectSimulator(params, ExponentialWorkload(1.0))
+        for name in ("stat", "gss", "fac2", "bold"):
+            r = sim.run(make_factory(name), seed=11)
+            assert r.makespan >= r.total_task_time / params.p - 1e-9

@@ -1,0 +1,206 @@
+"""Tests for the synthetic application models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    ClusteredNBody,
+    MandelbrotRows,
+    MonteCarloHistories,
+    WavePacket,
+    escape_counts,
+)
+
+
+class TestMandelbrot:
+    def test_escape_counts_known_points(self):
+        # c = 0 never escapes; c = 1 escapes almost immediately.
+        counts = escape_counts(
+            np.array([0.0, 1.0]), np.array([0.0]), max_iter=50
+        )
+        assert counts[0, 0] == 50       # interior: capped
+        assert counts[0, 1] < 5         # exterior: fast escape
+
+    def test_rows_are_irregular(self):
+        app = MandelbrotRows(width=64, height=64, max_iter=60)
+        times = app.task_times()
+        assert times.shape == (64,)
+        assert app.imbalance_factor() > 2.0
+
+    def test_deterministic_and_cached(self):
+        app = MandelbrotRows(width=32, height=32)
+        a = app.task_times()
+        b = app.task_times(step=7)
+        assert np.array_equal(a, b)
+
+    def test_interior_rows_most_expensive(self):
+        app = MandelbrotRows(width=64, height=65, max_iter=80)
+        times = app.task_times()
+        # The middle row passes through the set's interior.
+        assert times[32] == times.max()
+
+    def test_workload_wrapping(self):
+        app = MandelbrotRows(width=16, height=16)
+        w = app.workload()
+        assert w.mean > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MandelbrotRows(width=0)
+        with pytest.raises(ValueError):
+            MandelbrotRows(max_iter=0)
+        with pytest.raises(ValueError):
+            MandelbrotRows(time_per_iteration=0.0)
+
+
+class TestNBody:
+    def test_counts_conserve_bodies(self):
+        app = ClusteredNBody(n_bodies=5000, grid=8)
+        assert app.cell_counts().sum() == 5000
+
+    def test_clustering_creates_imbalance(self):
+        app = ClusteredNBody(n_bodies=20_000, grid=16, cluster_std=0.03)
+        assert app.imbalance_factor() > 10.0
+
+    def test_positions_in_unit_square(self):
+        app = ClusteredNBody(n_bodies=1000)
+        pos = app.positions(step=3)
+        assert ((pos >= 0) & (pos < 1)).all()
+
+    def test_drift_moves_load(self):
+        app = ClusteredNBody(n_bodies=20_000, grid=8, drift=0.1)
+        t0 = app.task_times(step=0)
+        t5 = app.task_times(step=5)
+        # Total work is conserved-ish but its placement moves.
+        assert np.argmax(t0) != np.argmax(t5)
+        assert t0.sum() == pytest.approx(t5.sum(), rel=0.3)
+
+    def test_deterministic_given_seed(self):
+        a = ClusteredNBody(seed=3).task_times(step=2)
+        b = ClusteredNBody(seed=3).task_times(step=2)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusteredNBody(n_bodies=0)
+        with pytest.raises(ValueError):
+            ClusteredNBody(background_fraction=1.5)
+
+
+class TestMonteCarlo:
+    def test_shape_and_positivity(self):
+        app = MonteCarloHistories(n_tasks=500)
+        times = app.task_times()
+        assert times.shape == (500,)
+        assert (times > 0).all()
+
+    def test_mean_matches_geometric_expectation(self):
+        app = MonteCarloHistories(
+            n_tasks=2000, histories_per_task=50,
+            absorption_probability=0.1, time_per_event=1.0,
+            splitting_probability=0.0,
+        )
+        times = app.task_times()
+        # E[events per history] = 1/p = 10.
+        assert times.mean() == pytest.approx(500.0, rel=0.05)
+
+    def test_splitting_creates_heavy_tail(self):
+        app = MonteCarloHistories(
+            n_tasks=4000, splitting_probability=0.02, max_split_factor=50
+        )
+        times = app.task_times()
+        assert times.max() > 5 * np.median(times)
+
+    def test_steps_give_different_draws(self):
+        app = MonteCarloHistories(n_tasks=100)
+        assert not np.array_equal(app.task_times(0), app.task_times(1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonteCarloHistories(absorption_probability=0.0)
+        with pytest.raises(ValueError):
+            MonteCarloHistories(splitting_probability=1.0)
+
+
+class TestWavePacket:
+    def test_hot_region_follows_packet(self):
+        app = WavePacket(n_tasks=100, velocity=0.1, noise=0.0)
+        for step in (0, 3, 6):
+            times = app.task_times(step)
+            assert abs(int(np.argmax(times)) - app.hot_block(step)) <= 1
+
+    def test_packet_reflects_at_boundaries(self):
+        app = WavePacket(start_position=0.9, velocity=0.2)
+        assert 0.0 <= app.packet_center(10) <= 1.0
+
+    def test_dispersion_broadens_peak(self):
+        app = WavePacket(n_tasks=200, noise=0.0, dispersion=0.01)
+        early = app.task_times(0)
+        late = app.task_times(20)
+        def width(times):
+            threshold = times.min() + 0.5 * (times.max() - times.min())
+            return int((times > threshold).sum())
+        assert width(late) > width(early)
+
+    def test_peak_factor_controls_imbalance(self):
+        flat = WavePacket(peak_factor=0.0, noise=0.0)
+        spiky = WavePacket(peak_factor=100.0, noise=0.0)
+        assert flat.imbalance_factor() == pytest.approx(1.0)
+        assert spiky.imbalance_factor() > 5.0
+        assert spiky.imbalance_factor() > 2 * WavePacket(
+            peak_factor=5.0, noise=0.0
+        ).imbalance_factor()
+
+    def test_noise_reproducible_per_step(self):
+        app = WavePacket(noise=0.1, seed=5)
+        assert np.array_equal(app.task_times(3), app.task_times(3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WavePacket(n_tasks=0)
+        with pytest.raises(ValueError):
+            WavePacket(noise=-0.1)
+
+
+class TestIntegrationWithSimulator:
+    def test_models_schedule_end_to_end(self):
+        from repro.core.params import SchedulingParams
+        from repro.core.registry import make_factory
+        from repro.directsim import DirectSimulator
+
+        models = [
+            MandelbrotRows(width=32, height=64),
+            ClusteredNBody(n_bodies=2000, grid=8),
+            MonteCarloHistories(n_tasks=64),
+            WavePacket(n_tasks=64),
+        ]
+        for model in models:
+            workload = model.workload()
+            params = SchedulingParams(
+                n=model.n_tasks, p=4, h=0.0,
+                mu=workload.mean, sigma=workload.std,
+            )
+            sim = DirectSimulator(params, workload)
+            result = sim.run(make_factory("fac"), seed=0)
+            assert result.total_task_time == pytest.approx(
+                workload.times.sum(), rel=1e-9
+            )
+
+    def test_dls_beats_static_on_irregular_apps(self):
+        """The paper's core motivation, demonstrated on real app models."""
+        from repro.core.params import SchedulingParams
+        from repro.core.registry import make_factory
+        from repro.directsim import DirectSimulator
+
+        app = MandelbrotRows(width=64, height=128, max_iter=80)
+        workload = app.workload()
+        params = SchedulingParams(
+            n=app.n_tasks, p=8, h=0.0,
+            mu=workload.mean, sigma=workload.std,
+        )
+        sim = DirectSimulator(params, workload)
+        stat = sim.run(make_factory("stat"), seed=0).makespan
+        fac2 = sim.run(make_factory("fac2"), seed=0).makespan
+        assert fac2 < stat

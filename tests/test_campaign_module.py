@@ -1,0 +1,36 @@
+"""Tests for the full-campaign driver (repro.experiments.campaign)."""
+
+from __future__ import annotations
+
+import io
+
+from repro.experiments.campaign import run_full_campaign
+
+
+class TestRunFullCampaign:
+    def test_minimal_campaign_writes_report(self):
+        buf = io.StringIO()
+        elapsed = run_full_campaign(
+            out=buf,
+            campaign_runs={1024: 1},
+            fig9_runs=0,
+            include_tss=False,
+        )
+        text = buf.getvalue()
+        assert elapsed > 0
+        assert "Table II" in text
+        assert "fig5" in text
+        assert "fig6" not in text       # not in campaign_runs
+        assert "fig9" not in text       # disabled
+        assert "total campaign time" in text
+
+    def test_fig9_only(self):
+        buf = io.StringIO()
+        run_full_campaign(
+            out=buf,
+            campaign_runs={},
+            fig9_runs=3,
+            include_tss=False,
+        )
+        text = buf.getvalue()
+        assert "FAC outlier study" in text

@@ -1,0 +1,164 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestListCommand:
+    def test_lists_every_artifact(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("table2", "table3", "fig3", "fig5", "fig9"):
+            assert exp_id in out
+
+
+class TestTechniquesCommand:
+    def test_lists_registered_techniques(self, capsys):
+        assert main(["techniques"]) == 0
+        out = capsys.readouterr().out
+        for name in ("stat", "ss", "gss", "tss", "fac2", "bold", "awf", "af"):
+            assert name in out
+
+
+class TestScheduleCommand:
+    def test_prints_chunks(self, capsys):
+        code = main([
+            "schedule", "--technique", "gss", "--n", "20", "--p", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GSS: 9 chunks, sum=20" in out
+        assert "5 4 3 2 2 1 1 1 1" in out
+
+    def test_css_with_chunk_size(self, capsys):
+        main([
+            "schedule", "--technique", "css", "--n", "10", "--p", "2",
+            "--chunk-size", "4",
+        ])
+        out = capsys.readouterr().out
+        assert "4 4 2" in out
+
+
+class TestSimulateCommand:
+    def test_direct_simulator(self, capsys):
+        code = main([
+            "simulate", "--technique", "fac2", "--n", "128", "--p", "4",
+            "--h", "0.5", "--runs", "2", "--simulator", "direct",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FAC2 on direct" in out
+        assert "speedup" in out
+
+    def test_msg_simulator_constant(self, capsys):
+        code = main([
+            "simulate", "--technique", "stat", "--n", "64", "--p", "4",
+            "--dist", "constant", "--simulator", "msg",
+        ])
+        assert code == 0
+        assert "STAT on msg" in capsys.readouterr().out
+
+
+class TestGanttCommand:
+    def test_renders_chart(self, capsys):
+        code = main([
+            "gantt", "--technique", "gss", "--n", "60", "--p", "3",
+            "--dist", "constant", "--width", "40",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "w0" in out and "busy%" in out
+
+    def test_paje_export(self, capsys, tmp_path):
+        path = tmp_path / "run.trace"
+        code = main([
+            "gantt", "--technique", "fac2", "--n", "40", "--p", "2",
+            "--paje", str(path),
+        ])
+        assert code == 0
+        assert path.exists()
+        assert "%EventDef" in path.read_text()
+
+
+class TestSimulateFilesCommand:
+    def test_end_to_end(self, capsys, tmp_path):
+        from repro.simgrid import (
+            deployment_to_xml,
+            master_worker_deployment,
+            platform_to_xml,
+            star_platform,
+        )
+
+        plat = tmp_path / "p.xml"
+        plat.write_text(platform_to_xml(star_platform(3)))
+        dep = tmp_path / "d.xml"
+        dep.write_text(deployment_to_xml(master_worker_deployment(3)))
+        code = main([
+            "simulate-files", str(plat), str(dep),
+            "--technique", "fac2", "--n", "120", "--dist", "constant",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p=3 (from deployment)" in out
+        assert "speedup" in out
+
+
+class TestRunCommand:
+    def test_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "matches Table II" in out
+
+    def test_table3(self, capsys):
+        assert main(["run", "table3"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_fig5_small(self, capsys):
+        code = main([
+            "run", "fig5", "--runs", "2", "--simulator", "direct",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n=1,024" in out
+        assert "STAT" in out and "BOLD" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            main(["run", "fig99"])
+
+    def test_extension_css_sweep(self, capsys):
+        assert main(["run", "css-sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "k = I/P" in out
+
+    def test_extension_listed(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        for exp_id in ("scalability", "css-sweep", "tss-shapes",
+                       "remote-ratio"):
+            assert exp_id in out
+
+
+class TestRecommendCommand:
+    def test_prints_recommendation(self, capsys):
+        code = main([
+            "recommend", "--n", "10000", "--p", "16", "--h", "0.1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended:" in out
+        assert "predicted" in out

@@ -1,0 +1,113 @@
+"""Tests for the convergence analysis helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.convergence import (
+    analyze_convergence,
+    convergence_report,
+    half_width,
+    required_runs,
+    running_mean,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestRunningMean:
+    def test_values(self):
+        assert running_mean([2.0, 4.0, 6.0]).tolist() == [2.0, 3.0, 4.0]
+
+    def test_converges_to_full_mean(self):
+        xs = rng().normal(5, 1, 500)
+        rm = running_mean(xs)
+        assert rm[-1] == pytest.approx(xs.mean())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            running_mean([])
+
+
+class TestHalfWidth:
+    def test_shrinks_with_sqrt_n(self):
+        xs = rng().normal(0, 1, 400)
+        hw_100 = half_width(xs[:100])
+        hw_400 = half_width(xs)
+        assert hw_400 == pytest.approx(hw_100 / 2, rel=0.3)
+
+    def test_single_value_infinite(self):
+        assert half_width([1.0]) == math.inf
+
+    def test_constant_sample_zero(self):
+        assert half_width([3.0] * 10) == 0.0
+
+
+class TestRequiredRuns:
+    def test_low_variance_needs_few_runs(self):
+        xs = rng().normal(100.0, 0.1, 50)      # cv = 0.1%
+        assert required_runs(xs, 0.05) == 2
+
+    def test_heavy_tail_needs_many_runs(self):
+        # A FAC-p=2-like sample: mostly small, occasionally huge.
+        xs = np.concatenate([
+            rng(1).exponential(10.0, 98),
+            np.array([500.0, 600.0]),
+        ])
+        assert required_runs(xs, 0.05) > 500
+
+    def test_precision_scaling(self):
+        xs = rng().exponential(1.0, 100)
+        # 5x tighter precision needs 25x the runs.
+        n5 = required_runs(xs, 0.05)
+        n1 = required_runs(xs, 0.01)
+        assert n1 == pytest.approx(25 * n5, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_runs([1.0], 0.05)
+        with pytest.raises(ValueError):
+            required_runs([1.0, 2.0], 0.0)
+        with pytest.raises(ValueError):
+            required_runs([-1.0, 1.0], 0.05)  # zero mean
+
+
+class TestReports:
+    def test_analyze_structure(self):
+        xs = rng().normal(10, 1, 100)
+        info = analyze_convergence(xs)
+        assert info.runs == 100
+        assert info.runs_for_1_percent > info.runs_for_5_percent
+
+    def test_report_renders(self):
+        text = convergence_report({
+            "SS p=2": rng(1).normal(256, 0.5, 30),
+            "FAC p=2": rng(2).exponential(25, 30),
+        })
+        assert "SS p=2" in text
+        assert "n(5%)" in text
+
+    def test_report_orders_cells_by_difficulty(self):
+        """The paper's run count makes sense: SS converges instantly,
+        heavy-tailed FAC needs the most runs."""
+        from repro.core.params import SchedulingParams
+        from repro.core.registry import make_factory
+        from repro.directsim import DirectSimulator
+        from repro.workloads import ExponentialWorkload
+
+        params = SchedulingParams(n=2048, p=2, h=0.5, mu=1.0, sigma=1.0)
+        sim = DirectSimulator(params, ExponentialWorkload(1.0))
+        samples = {}
+        for name in ("ss", "fac"):
+            samples[name] = [
+                sim.run(make_factory(name), seed=i).average_wasted_time
+                for i in range(30)
+            ]
+        need_ss = required_runs(samples["ss"], 0.05)
+        need_fac = required_runs(samples["fac"], 0.05)
+        assert need_fac > need_ss

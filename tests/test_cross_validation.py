@@ -1,0 +1,109 @@
+"""Cross-validation of the two simulator implementations.
+
+This is the verification-via-reproducibility methodology of the paper in
+miniature: the event-driven MSG simulator (explicit messages, Figure 1's
+protocol) and the direct chunk-level simulator (Hagerup's model) are
+independent implementations of the same scheduling semantics.  On a free
+network with identical seeds their observables must coincide; with
+different seeds their sample means must agree statistically.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.core.params import SchedulingParams
+from repro.core.registry import make_factory
+from repro.directsim import DirectSimulator
+from repro.simgrid import MasterWorkerSimulation
+from repro.workloads import ConstantWorkload, ExponentialWorkload
+
+from conftest import BOLD_EIGHT
+
+
+def params(n=512, p=8) -> SchedulingParams:
+    return SchedulingParams(n=n, p=p, h=0.5, mu=1.0, sigma=1.0)
+
+
+class TestExactAgreementOnFreeNetwork:
+    """Identical seeds + free network => identical chunk timing."""
+
+    @pytest.mark.parametrize("name", BOLD_EIGHT)
+    def test_constant_workload_identical(self, name):
+        pr = params()
+        workload = ConstantWorkload(1.0)
+        direct = DirectSimulator(pr, workload).run(make_factory(name))
+        msg = MasterWorkerSimulation(pr, workload).run(make_factory(name))
+        assert msg.num_chunks == direct.num_chunks
+        assert msg.makespan == pytest.approx(direct.makespan, rel=1e-6)
+        assert msg.compute_times == pytest.approx(
+            direct.compute_times, rel=1e-6
+        )
+        assert msg.average_wasted_time == pytest.approx(
+            direct.average_wasted_time, rel=1e-6
+        )
+
+    @pytest.mark.parametrize("name", BOLD_EIGHT)
+    def test_exponential_workload_identical_seeds(self, name):
+        pr = params()
+        workload = ExponentialWorkload(1.0)
+        direct = DirectSimulator(pr, workload).run(make_factory(name), seed=42)
+        msg = MasterWorkerSimulation(pr, workload).run(
+            make_factory(name), seed=42
+        )
+        # Same request order + same RNG stream => same chunk times.
+        assert msg.average_wasted_time == pytest.approx(
+            direct.average_wasted_time, rel=1e-6
+        )
+
+
+class TestStatisticalAgreement:
+    """Different seeds: sample means agree within sampling error."""
+
+    @pytest.mark.parametrize("name", ("gss", "fac2", "bold"))
+    def test_wasted_time_means_close(self, name):
+        pr = params(n=1024, p=8)
+        workload = ExponentialWorkload(1.0)
+        direct_sim = DirectSimulator(pr, workload)
+        msg_sim = MasterWorkerSimulation(pr, workload)
+        direct = [
+            direct_sim.run(make_factory(name), seed=1000 + i).average_wasted_time
+            for i in range(25)
+        ]
+        msg = [
+            msg_sim.run(make_factory(name), seed=2000 + i).average_wasted_time
+            for i in range(25)
+        ]
+        d_mean = statistics.mean(direct)
+        m_mean = statistics.mean(msg)
+        pooled_sem = (
+            statistics.stdev(direct) ** 2 / 25
+            + statistics.stdev(msg) ** 2 / 25
+        ) ** 0.5
+        # Agreement within 4 pooled standard errors (loose but real).
+        assert abs(d_mean - m_mean) < max(4 * pooled_sem, 0.05 * d_mean)
+
+
+class TestPaperDiscrepancyBand:
+    """The headline claim: relative discrepancy within ~15 % at n=1024."""
+
+    def test_relative_discrepancy_small_at_1024(self):
+        pr = params(n=1024, p=8)
+        workload = ExponentialWorkload(1.0)
+        direct_sim = DirectSimulator(pr, workload)
+        msg_sim = MasterWorkerSimulation(pr, workload)
+        for name in BOLD_EIGHT:
+            direct = statistics.mean(
+                direct_sim.run(make_factory(name), seed=10 + i).average_wasted_time
+                for i in range(20)
+            )
+            msg = statistics.mean(
+                msg_sim.run(make_factory(name), seed=900 + i).average_wasted_time
+                for i in range(20)
+            )
+            rel = abs(msg - direct) / direct * 100
+            # The paper reports <= 15% for 1,024 tasks (1,000 runs); with
+            # 20 runs we allow a wider band for sampling noise.
+            assert rel < 35.0, (name, rel)

@@ -1,0 +1,246 @@
+"""Tests for the workload distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    BimodalWorkload,
+    ConstantWorkload,
+    ExponentialWorkload,
+    GammaWorkload,
+    LinearWorkload,
+    NormalWorkload,
+    PerTaskSampling,
+    TraceWorkload,
+    UniformWorkload,
+    decreasing_workload,
+    increasing_workload,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestConstant:
+    def test_mean_std(self):
+        w = ConstantWorkload(0.5)
+        assert w.mean == 0.5
+        assert w.std == 0.0
+
+    def test_sample_values(self):
+        w = ConstantWorkload(2.0)
+        assert (w.sample(0, 10, rng()) == 2.0).all()
+
+    def test_chunk_time_exact(self):
+        w = ConstantWorkload(0.25)
+        assert w.chunk_time(0, 8, rng()) == 2.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantWorkload(0.0)
+
+    def test_serial_time(self):
+        assert ConstantWorkload(2.0).serial_time(10) == 20.0
+
+
+class TestExponential:
+    def test_moments(self):
+        w = ExponentialWorkload(3.0)
+        assert w.mean == 3.0
+        assert w.std == 3.0
+
+    def test_sample_statistics(self):
+        w = ExponentialWorkload(1.0)
+        xs = w.sample(0, 100_000, rng(1))
+        assert xs.mean() == pytest.approx(1.0, rel=0.02)
+        assert xs.std() == pytest.approx(1.0, rel=0.03)
+
+    def test_chunk_time_gamma_matches_sum_distribution(self):
+        """Gamma(k) chunk draws and per-task sums agree statistically."""
+        w = ExponentialWorkload(1.0)
+        r = rng(2)
+        k, m = 50, 4000
+        gamma_draws = np.array([w.chunk_time(0, k, r) for _ in range(m)])
+        sums = w.sample(0, k * m, rng(3)).reshape(m, k).sum(axis=1)
+        assert gamma_draws.mean() == pytest.approx(sums.mean(), rel=0.02)
+        assert gamma_draws.std() == pytest.approx(sums.std(), rel=0.1)
+
+    def test_chunk_time_zero_size(self):
+        assert ExponentialWorkload(1.0).chunk_time(0, 0, rng()) == 0.0
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            ExponentialWorkload(0.0)
+
+
+class TestUniform:
+    def test_moments(self):
+        w = UniformWorkload(1.0, 3.0)
+        assert w.mean == 2.0
+        assert w.std == pytest.approx(2.0 / np.sqrt(12))
+
+    def test_range(self):
+        w = UniformWorkload(1.0, 3.0)
+        xs = w.sample(0, 1000, rng())
+        assert ((xs >= 1.0) & (xs <= 3.0)).all()
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            UniformWorkload(3.0, 1.0)
+
+
+class TestNormal:
+    def test_floor_applied(self):
+        w = NormalWorkload(0.1, 5.0, floor=0.0)
+        xs = w.sample(0, 1000, rng())
+        assert (xs >= 0.0).all()
+
+    def test_moments_declared(self):
+        w = NormalWorkload(2.0, 0.5)
+        assert w.mean == 2.0
+        assert w.std == 0.5
+
+
+class TestGamma:
+    def test_moments(self):
+        w = GammaWorkload(4.0, 0.5)
+        assert w.mean == 2.0
+        assert w.std == 1.0
+
+    def test_chunk_time_closed_form_statistics(self):
+        w = GammaWorkload(2.0, 0.5)
+        r = rng(5)
+        draws = np.array([w.chunk_time(0, 10, r) for _ in range(4000)])
+        assert draws.mean() == pytest.approx(10 * w.mean, rel=0.03)
+
+
+class TestBimodal:
+    def test_values_from_modes(self):
+        w = BimodalWorkload(1.0, 10.0, p_fast=0.7)
+        xs = w.sample(0, 1000, rng())
+        assert set(np.unique(xs)) <= {1.0, 10.0}
+
+    def test_mean(self):
+        w = BimodalWorkload(1.0, 10.0, p_fast=0.5)
+        assert w.mean == 5.5
+
+    def test_std_formula(self):
+        w = BimodalWorkload(2.0, 4.0, p_fast=0.5)
+        assert w.std == pytest.approx(1.0)
+
+    def test_rejects_degenerate_probability(self):
+        with pytest.raises(ValueError):
+            BimodalWorkload(1.0, 2.0, p_fast=1.0)
+
+
+class TestLinear:
+    def test_decreasing(self):
+        w = decreasing_workload(10, first=10.0, last=1.0)
+        xs = w.sample(0, 10, rng())
+        assert xs[0] == 10.0
+        assert xs[-1] == 1.0
+        assert (np.diff(xs) < 0).all()
+
+    def test_increasing(self):
+        w = increasing_workload(10, first=1.0, last=10.0)
+        xs = w.sample(0, 10, rng())
+        assert (np.diff(xs) > 0).all()
+
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            decreasing_workload(10, first=1.0, last=10.0)
+        with pytest.raises(ValueError):
+            increasing_workload(10, first=10.0, last=1.0)
+
+    def test_chunk_time_is_exact_sum(self):
+        w = LinearWorkload(100, 5.0, 1.0)
+        r = rng()
+        assert w.chunk_time(10, 20, r) == pytest.approx(
+            w.sample(10, 20, r).sum()
+        )
+
+    def test_position_dependent_flag(self):
+        assert LinearWorkload(10, 2.0, 1.0).position_dependent
+
+    def test_single_task(self):
+        w = LinearWorkload(1, 3.0, 3.0)
+        assert w.sample(0, 1, rng())[0] == 3.0
+
+
+class TestTraceWorkload:
+    def test_replays_exact_values(self):
+        times = np.array([0.1, 0.2, 0.3, 0.4])
+        w = TraceWorkload(times)
+        assert w.sample(1, 2, rng()).tolist() == [0.2, 0.3]
+
+    def test_out_of_range_rejected(self):
+        w = TraceWorkload(np.ones(4))
+        with pytest.raises(IndexError):
+            w.sample(2, 3, rng())
+
+    def test_moments_from_data(self):
+        w = TraceWorkload(np.array([1.0, 3.0]))
+        assert w.mean == 2.0
+        assert w.std == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TraceWorkload(np.array([]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TraceWorkload(np.array([1.0, -0.1]))
+
+
+class TestPerTaskSampling:
+    def test_delegates_moments(self):
+        w = PerTaskSampling(ExponentialWorkload(2.0))
+        assert w.mean == 2.0
+        assert w.std == 2.0
+
+    def test_chunk_time_uses_per_task_path(self):
+        # With the same generator state, the per-task path consumes k
+        # variates while the wrapped gamma path consumes one; the values
+        # must still agree in expectation.
+        inner = ExponentialWorkload(1.0)
+        w = PerTaskSampling(inner)
+        draws = [w.chunk_time(0, 20, rng(i)) for i in range(2000)]
+        assert np.mean(draws) == pytest.approx(20.0, rel=0.05)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=200),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_all_samples_nonnegative(size, seed):
+    workloads = [
+        ConstantWorkload(1.0),
+        ExponentialWorkload(1.0),
+        UniformWorkload(0.5, 2.0),
+        NormalWorkload(1.0, 0.5),
+        GammaWorkload(2.0, 0.5),
+        BimodalWorkload(0.5, 2.0),
+        LinearWorkload(500, 2.0, 1.0),
+    ]
+    r = rng(seed)
+    for w in workloads:
+        xs = w.sample(0, size, r)
+        assert xs.shape == (size,)
+        assert (xs >= 0).all(), w
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    start=st.integers(min_value=0, max_value=100),
+    size=st.integers(min_value=0, max_value=100),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_chunk_time_nonnegative(start, size, seed):
+    w = ExponentialWorkload(1.0)
+    assert w.chunk_time(start, size, rng(seed)) >= 0.0

@@ -1,0 +1,159 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simgrid.engine import Engine, SimulationError, Timeout
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(2.0, lambda: seen.append("b"))
+        engine.schedule(1.0, lambda: seen.append("a"))
+        engine.schedule(3.0, lambda: seen.append("c"))
+        engine.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_schedule_order(self):
+        engine = Engine()
+        seen = []
+        for i in range(5):
+            engine.schedule(1.0, lambda i=i: seen.append(i))
+        engine.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_times(self):
+        engine = Engine()
+        times = []
+        engine.schedule(1.5, lambda: times.append(engine.now))
+        engine.schedule(4.0, lambda: times.append(engine.now))
+        final = engine.run()
+        assert times == [1.5, 4.0]
+        assert final == 4.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_until_bound(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(1))
+        engine.schedule(10.0, lambda: seen.append(2))
+        engine.run(until=5.0)
+        assert seen == [1]
+        assert engine.now == 5.0
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        seen = []
+
+        def outer():
+            seen.append(("outer", engine.now))
+            engine.schedule(2.0, inner)
+
+        def inner():
+            seen.append(("inner", engine.now))
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert seen == [("outer", 1.0), ("inner", 3.0)]
+
+
+class TestProcesses:
+    def test_process_runs_to_completion(self):
+        engine = Engine()
+        log = []
+
+        def proc():
+            log.append(engine.now)
+            yield Timeout(2.0)
+            log.append(engine.now)
+            yield Timeout(3.0)
+            log.append(engine.now)
+
+        engine.spawn(proc(), name="p")
+        engine.run()
+        assert log == [0.0, 2.0, 5.0]
+        assert engine.live_processes == 0
+
+    def test_start_at_delays_first_step(self):
+        engine = Engine()
+        log = []
+
+        def proc():
+            log.append(engine.now)
+            yield Timeout(1.0)
+
+        engine.spawn(proc(), start_at=4.0)
+        engine.run()
+        assert log == [4.0]
+
+    def test_start_in_past_rejected(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+
+        def proc():
+            yield Timeout(0.0)
+
+        with pytest.raises(ValueError, match="past"):
+            engine.spawn(proc(), start_at=1.0)
+
+    def test_non_effect_yield_raises(self):
+        engine = Engine()
+
+        def bad():
+            yield 42  # not an Effect
+
+        engine.spawn(bad(), name="bad")
+        with pytest.raises(SimulationError, match="not an Effect"):
+            engine.run()
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def forever():
+            while True:
+                yield Timeout(1.0)
+
+        engine.spawn(forever())
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run(max_events=100)
+
+    def test_deadlock_detection(self):
+        from repro.simgrid.msg import Mailbox, Receive
+        from repro.simgrid.platform import Host
+
+        engine = Engine()
+        mailbox = Mailbox("mb", Host("h"))
+
+        def waiter():
+            yield Receive(mailbox)  # nobody ever sends
+
+        engine.spawn(waiter(), name="waiter")
+        with pytest.raises(SimulationError, match="deadlock"):
+            engine.run()
+
+    def test_many_processes_interleave(self):
+        engine = Engine()
+        done = []
+
+        def proc(i):
+            yield Timeout(float(i))
+            done.append(i)
+
+        for i in range(10):
+            engine.spawn(proc(i), name=f"p{i}")
+        engine.run()
+        assert done == list(range(10))
+
+    def test_timeout_duration_validated(self):
+        with pytest.raises(ValueError):
+            Timeout(-0.5)

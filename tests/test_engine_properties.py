@@ -1,0 +1,99 @@
+"""Property-based tests on the DES kernel and the XML round trip."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simgrid.engine import Engine, Timeout
+from repro.simgrid.platform import Host, Link, Platform
+from repro.simgrid.xmlio import loads_platform, platform_to_xml
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    engine = Engine()
+    fired: list[float] = []
+    for d in delays:
+        engine.schedule(d, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_process_time_is_sum_of_timeouts(durations):
+    engine = Engine()
+    end = {}
+
+    def proc():
+        for d in durations:
+            yield Timeout(d)
+        end["t"] = engine.now
+
+    engine.spawn(proc())
+    engine.run()
+    assert end["t"] == sum(durations)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_engine_runs_are_deterministic(delays, seed):
+    def run_once():
+        engine = Engine()
+        log: list[tuple[float, int]] = []
+        for i, d in enumerate(delays):
+            engine.schedule(d, lambda i=i: log.append((engine.now, i)))
+        engine.run()
+        return log
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_hosts=st.integers(min_value=1, max_value=8),
+    speeds=st.lists(
+        st.floats(min_value=0.001, max_value=1e12, allow_nan=False),
+        min_size=8,
+        max_size=8,
+    ),
+    bandwidth=st.floats(min_value=0.001, max_value=1e12, allow_nan=False),
+    latency=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+)
+def test_platform_xml_roundtrip(n_hosts, speeds, bandwidth, latency):
+    platform = Platform(name="prop")
+    platform.add_host(Host("master", speed=speeds[0]))
+    for i in range(n_hosts):
+        platform.add_host(Host(f"worker-{i}", speed=speeds[i % len(speeds)]))
+        link = platform.add_link(
+            Link(f"l{i}", bandwidth=bandwidth, latency=latency)
+        )
+        platform.add_route("master", f"worker-{i}", [link])
+    back = loads_platform(platform_to_xml(platform))
+    assert set(back.host_names) == set(platform.host_names)
+    for i in range(n_hosts):
+        expected = platform.transfer_time("master", f"worker-{i}", 123.0)
+        got = back.transfer_time("master", f"worker-{i}", 123.0)
+        assert abs(got - expected) <= 1e-9 * max(1.0, expected)

@@ -1,0 +1,168 @@
+"""Tests for the MSG layer: mailboxes, send/receive, compute tasks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simgrid.engine import Engine, Timeout
+from repro.simgrid.msg import (
+    ComputeTask,
+    Execute,
+    Mailbox,
+    Receive,
+    Send,
+)
+from repro.simgrid.platform import Host, Link, Platform
+
+
+def two_host_platform(latency=0.5, bandwidth=100.0) -> Platform:
+    platform = Platform()
+    platform.add_host(Host("a", speed=1.0))
+    platform.add_host(Host("b", speed=2.0))
+    link = platform.add_link(Link("l", bandwidth=bandwidth, latency=latency))
+    platform.add_route("a", "b", [link])
+    return platform
+
+
+class TestSendReceive:
+    def test_message_arrives_after_transfer_time(self):
+        platform = two_host_platform(latency=0.5, bandwidth=100.0)
+        engine = Engine()
+        mailbox = Mailbox("mb", platform.host("b"))
+        log = {}
+
+        def sender():
+            yield Send(platform, platform.host("a"), mailbox, "hi", size=50.0)
+            log["send_done"] = engine.now
+
+        def receiver():
+            msg = yield Receive(mailbox)
+            log["recv"] = engine.now
+            log["payload"] = msg.payload
+            log["meta"] = (msg.source, msg.size, msg.sent_at, msg.delivered_at)
+
+        engine.spawn(sender(), name="s")
+        engine.spawn(receiver(), name="r")
+        engine.run()
+        # transfer = latency + size/bandwidth = 0.5 + 0.5 = 1.0
+        assert log["recv"] == pytest.approx(1.0)
+        assert log["send_done"] == pytest.approx(1.0)
+        assert log["payload"] == "hi"
+        assert log["meta"] == ("a", 50.0, 0.0, 1.0)
+
+    def test_receive_before_send_blocks(self):
+        platform = two_host_platform(latency=0.25, bandwidth=1e9)
+        engine = Engine()
+        mailbox = Mailbox("mb", platform.host("b"))
+        times = []
+
+        def receiver():
+            yield Receive(mailbox)
+            times.append(engine.now)
+
+        def sender():
+            yield Timeout(5.0)
+            yield Send(platform, platform.host("a"), mailbox, 1, size=0.0)
+
+        engine.spawn(receiver())
+        engine.spawn(sender())
+        engine.run()
+        assert times[0] == pytest.approx(5.25)
+
+    def test_messages_queue_fifo(self):
+        platform = two_host_platform(latency=0.1, bandwidth=1e12)
+        engine = Engine()
+        mailbox = Mailbox("mb", platform.host("b"))
+        got = []
+
+        def sender():
+            for i in range(3):
+                yield Send(platform, platform.host("a"), mailbox, i, size=0.0)
+
+        def receiver():
+            yield Timeout(10.0)  # let all three queue up
+            for _ in range(3):
+                msg = yield Receive(mailbox)
+                got.append(msg.payload)
+
+        engine.spawn(sender())
+        engine.spawn(receiver())
+        engine.run()
+        assert got == [0, 1, 2]
+
+    def test_multiple_waiters_served_in_order(self):
+        platform = two_host_platform(latency=0.1, bandwidth=1e12)
+        engine = Engine()
+        mailbox = Mailbox("mb", platform.host("b"))
+        got = []
+
+        def waiter(i):
+            msg = yield Receive(mailbox)
+            got.append((i, msg.payload))
+
+        def sender():
+            yield Timeout(1.0)
+            yield Send(platform, platform.host("a"), mailbox, "x", size=0.0)
+            yield Send(platform, platform.host("a"), mailbox, "y", size=0.0)
+
+        engine.spawn(waiter(0))
+        engine.spawn(waiter(1))
+        engine.spawn(sender())
+        engine.run()
+        assert got == [(0, "x"), (1, "y")]
+
+    def test_loopback_send_instant(self):
+        platform = two_host_platform()
+        engine = Engine()
+        mailbox = Mailbox("mb", platform.host("a"))
+        times = []
+
+        def proc():
+            yield Send(platform, platform.host("a"), mailbox, 1, size=1e6)
+            times.append(engine.now)
+            yield Receive(mailbox)
+
+        engine.spawn(proc())
+        engine.run()
+        assert times[0] == 0.0
+
+    def test_negative_size_rejected(self):
+        platform = two_host_platform()
+        mailbox = Mailbox("mb", platform.host("b"))
+        with pytest.raises(ValueError):
+            Send(platform, platform.host("a"), mailbox, 1, size=-1.0)
+
+    def test_pending_message_count(self):
+        platform = two_host_platform(latency=0.0, bandwidth=1e12)
+        engine = Engine()
+        mailbox = Mailbox("mb", platform.host("b"))
+
+        def sender():
+            yield Send(platform, platform.host("a"), mailbox, 1, size=0.0)
+
+        engine.spawn(sender())
+        engine.run()
+        assert mailbox.pending_messages == 1
+
+
+class TestComputeTask:
+    def test_duration_scales_with_speed(self):
+        task = ComputeTask("t", amount=10.0)
+        assert task.duration_on(Host("x", speed=2.0)) == 5.0
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeTask("t", amount=-1.0)
+
+    def test_execute_occupies_process(self):
+        engine = Engine()
+        host = Host("h", speed=4.0)
+        times = []
+
+        def proc():
+            yield Execute(ComputeTask("t", amount=8.0), host)
+            times.append(engine.now)
+
+        engine.spawn(proc())
+        engine.run()
+        assert times[0] == pytest.approx(2.0)

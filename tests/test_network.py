@@ -1,0 +1,196 @@
+"""Tests for the flow-level contention network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import SchedulingParams
+from repro.core.registry import make_factory
+from repro.simgrid import (
+    Host,
+    Link,
+    MasterWorkerConfig,
+    MasterWorkerSimulation,
+    Platform,
+    star_platform,
+)
+from repro.simgrid.engine import Engine
+from repro.simgrid.network import Flow, FlowNetwork, max_min_rates
+from repro.simgrid.platform import Route
+from repro.workloads import ConstantWorkload
+
+
+def make_platform(bandwidth=100.0, latency=0.0) -> Platform:
+    platform = Platform()
+    platform.add_host(Host("a"))
+    platform.add_host(Host("b"))
+    platform.add_host(Host("c"))
+    shared = platform.add_link(Link("shared", bandwidth, latency))
+    platform.add_route("a", "b", [shared])
+    platform.add_route("a", "c", [shared])
+    return platform
+
+
+class TestMaxMinRates:
+    def _flow(self, fid, links, remaining=100.0):
+        return Flow(
+            id=fid, route=Route(links=tuple(links)), remaining=remaining,
+            on_complete=lambda: None,
+        )
+
+    def test_single_flow_gets_full_bandwidth(self):
+        link = Link("l", 100.0, 0.0)
+        rates = max_min_rates([self._flow(0, [link])])
+        assert rates[0] == pytest.approx(100.0)
+
+    def test_two_flows_share_equally(self):
+        link = Link("l", 100.0, 0.0)
+        flows = [self._flow(0, [link]), self._flow(1, [link])]
+        rates = max_min_rates(flows)
+        assert rates[0] == pytest.approx(50.0)
+        assert rates[1] == pytest.approx(50.0)
+
+    def test_max_min_gives_leftover_to_unconstrained(self):
+        # Flow 0 crosses both links; flow 1 only the narrow one.
+        narrow = Link("narrow", 10.0, 0.0)
+        wide = Link("wide", 100.0, 0.0)
+        flows = [
+            self._flow(0, [narrow, wide]),
+            self._flow(1, [narrow]),
+            self._flow(2, [wide]),
+        ]
+        rates = max_min_rates(flows)
+        # narrow: 10 / 2 = 5 each for flows 0 and 1;
+        # wide: flow 2 gets the rest of 100 after flow 0's 5.
+        assert rates[0] == pytest.approx(5.0)
+        assert rates[1] == pytest.approx(5.0)
+        assert rates[2] == pytest.approx(95.0)
+
+    def test_loopback_flow_infinite(self):
+        rates = max_min_rates([self._flow(0, [])])
+        assert rates[0] == float("inf")
+
+
+class TestFlowNetwork:
+    def test_single_transfer_time(self):
+        platform = make_platform(bandwidth=100.0, latency=0.5)
+        engine = Engine()
+        done = {}
+        net = FlowNetwork(engine, platform)
+        net.start_flow("a", "b", 50.0, lambda: done.setdefault("t", engine.now))
+        engine.run()
+        # latency 0.5 + 50/100 = 1.0
+        assert done["t"] == pytest.approx(1.0)
+
+    def test_concurrent_transfers_share_bandwidth(self):
+        platform = make_platform(bandwidth=100.0, latency=0.0)
+        engine = Engine()
+        done = {}
+        net = FlowNetwork(engine, platform)
+        net.start_flow("a", "b", 100.0, lambda: done.setdefault("b", engine.now))
+        net.start_flow("a", "c", 100.0, lambda: done.setdefault("c", engine.now))
+        engine.run()
+        # Both share the 100 B/s link: each runs at 50 B/s -> 2 s.
+        assert done["b"] == pytest.approx(2.0)
+        assert done["c"] == pytest.approx(2.0)
+
+    def test_late_flow_slows_early_flow(self):
+        platform = make_platform(bandwidth=100.0, latency=0.0)
+        engine = Engine()
+        done = {}
+        net = FlowNetwork(engine, platform)
+        net.start_flow("a", "b", 100.0, lambda: done.setdefault("b", engine.now))
+        # Second flow starts at t=0.5, when flow 1 has 50 bytes left.
+        engine.schedule(
+            0.5,
+            lambda: net.start_flow(
+                "a", "c", 100.0, lambda: done.setdefault("c", engine.now)
+            ),
+        )
+        engine.run()
+        # Flow b: 50 bytes alone (0.5 s), then 50 bytes at 50 B/s (1 s).
+        assert done["b"] == pytest.approx(1.5)
+        # Flow c: 50 bytes at 50 B/s (1 s), then 50 bytes alone (0.5 s).
+        assert done["c"] == pytest.approx(2.0)
+
+    def test_flow_count_tracking(self):
+        platform = make_platform()
+        engine = Engine()
+        net = FlowNetwork(engine, platform)
+        net.start_flow("a", "b", 100.0, lambda: None)
+        assert net.active_flows == 0  # latency phase not yet elapsed
+        engine.run()
+        assert net.active_flows == 0  # drained
+
+    def test_zero_size_completes_after_latency(self):
+        platform = make_platform(bandwidth=10.0, latency=0.25)
+        engine = Engine()
+        done = {}
+        net = FlowNetwork(engine, platform)
+        net.start_flow("a", "b", 0.0, lambda: done.setdefault("t", engine.now))
+        engine.run()
+        assert done["t"] == pytest.approx(0.25)
+
+    def test_negative_size_rejected(self):
+        platform = make_platform()
+        net = FlowNetwork(Engine(), platform)
+        with pytest.raises(ValueError):
+            net.start_flow("a", "b", -1.0, lambda: None)
+
+
+class TestContentionInMasterWorker:
+    def test_contention_slows_fan_out(self):
+        """Large work messages through one shared master link contend."""
+        p = 8
+        params = SchedulingParams(n=64, p=p, h=0.0)
+        # Slow master uplink: 1 kB/s; work messages of 512 B each.
+        platform = star_platform(p, bandwidth=1e3, latency=1e-6)
+        base = MasterWorkerSimulation(
+            params, ConstantWorkload(0.01), platform=platform,
+            config=MasterWorkerConfig(work_size=512.0, contention=False),
+        ).run(make_factory("stat"))
+        contended = MasterWorkerSimulation(
+            params, ConstantWorkload(0.01), platform=platform,
+            config=MasterWorkerConfig(work_size=512.0, contention=True),
+        ).run(make_factory("stat"))
+        # With per-worker links the star's links are private, so the
+        # results should match closely (contention only on shared links).
+        assert contended.makespan == pytest.approx(base.makespan, rel=0.05)
+
+    def test_contention_on_shared_backbone(self):
+        from repro.simgrid import cluster_platform
+
+        p = 8
+        params = SchedulingParams(n=32, p=p, h=0.0)
+        platform = cluster_platform(
+            p, link_bandwidth=1e3, link_latency=1e-6,
+            backbone_bandwidth=2e3, backbone_latency=1e-6,
+        )
+        big = MasterWorkerConfig(work_size=1000.0, contention=True)
+        small = MasterWorkerConfig(work_size=1000.0, contention=False)
+        contended = MasterWorkerSimulation(
+            params, ConstantWorkload(0.01), platform=platform, config=big
+        ).run(make_factory("stat"))
+        free = MasterWorkerSimulation(
+            params, ConstantWorkload(0.01), platform=platform, config=small
+        ).run(make_factory("stat"))
+        # The 2 kB/s backbone carries 8 concurrent 1 kB messages: the
+        # contention-aware model must be slower than the fixed-cost one.
+        assert contended.makespan > free.makespan
+
+    def test_results_identical_on_free_network(self):
+        params = SchedulingParams(n=128, p=4, h=0.5, mu=1.0, sigma=1.0)
+        from repro.workloads import ExponentialWorkload
+
+        workload = ExponentialWorkload(1.0)
+        a = MasterWorkerSimulation(
+            params, workload,
+            config=MasterWorkerConfig(contention=True),
+        ).run(make_factory("fac2"), seed=5)
+        b = MasterWorkerSimulation(
+            params, workload,
+            config=MasterWorkerConfig(contention=False),
+        ).run(make_factory("fac2"), seed=5)
+        assert a.average_wasted_time == pytest.approx(
+            b.average_wasted_time, rel=1e-6
+        )

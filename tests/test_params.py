@@ -1,0 +1,114 @@
+"""Tests for repro.core.params."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import SchedulingParams, weights_from_speeds
+
+
+class TestSchedulingParamsValidation:
+    def test_minimal_construction(self):
+        p = SchedulingParams(n=10, p=2)
+        assert p.n == 10
+        assert p.p == 2
+        assert p.h == 0.0
+        assert p.mu is None
+        assert p.sigma is None
+
+    def test_zero_tasks_allowed(self):
+        assert SchedulingParams(n=0, p=1).n == 0
+
+    def test_negative_tasks_rejected(self):
+        with pytest.raises(ValueError, match="n must be"):
+            SchedulingParams(n=-1, p=2)
+
+    def test_zero_pes_rejected(self):
+        with pytest.raises(ValueError, match="p must be"):
+            SchedulingParams(n=10, p=0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError, match="h must be"):
+            SchedulingParams(n=10, p=2, h=-0.1)
+
+    def test_nonpositive_mu_rejected(self):
+        with pytest.raises(ValueError, match="mu must be"):
+            SchedulingParams(n=10, p=2, mu=0.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError, match="sigma must be"):
+            SchedulingParams(n=10, p=2, sigma=-1.0)
+
+    def test_zero_sigma_allowed(self):
+        assert SchedulingParams(n=10, p=2, sigma=0.0).sigma == 0.0
+
+    def test_min_chunk_validated(self):
+        with pytest.raises(ValueError, match="min_chunk"):
+            SchedulingParams(n=10, p=2, min_chunk=0)
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            SchedulingParams(n=10, p=2, chunk_size=0)
+
+    def test_first_chunk_validated(self):
+        with pytest.raises(ValueError, match="first_chunk"):
+            SchedulingParams(n=10, p=2, first_chunk=0)
+
+    def test_last_chunk_validated(self):
+        with pytest.raises(ValueError, match="last_chunk"):
+            SchedulingParams(n=10, p=2, last_chunk=0)
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError, match="alpha"):
+            SchedulingParams(n=10, p=2, alpha=0.0)
+
+
+class TestWeights:
+    def test_weights_normalised_to_sum_one(self):
+        p = SchedulingParams(n=10, p=2, weights=(1.0, 3.0))
+        assert p.weights == (0.25, 0.75)
+
+    def test_weights_length_must_match_p(self):
+        with pytest.raises(ValueError, match="one entry per PE"):
+            SchedulingParams(n=10, p=3, weights=(0.5, 0.5))
+
+    def test_weights_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            SchedulingParams(n=10, p=2, weights=(1.0, 0.0))
+
+    def test_uniform_weights(self):
+        w = SchedulingParams.uniform_weights(4)
+        assert len(w) == 4
+        assert sum(w) == pytest.approx(1.0)
+        assert all(x == pytest.approx(0.25) for x in w)
+
+    def test_weights_from_speeds_proportional(self):
+        w = weights_from_speeds([1.0, 2.0, 1.0])
+        assert w == pytest.approx((0.25, 0.5, 0.25))
+
+    def test_weights_from_speeds_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            weights_from_speeds([])
+
+    def test_weights_from_speeds_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            weights_from_speeds([1.0, -2.0])
+
+
+class TestWithUpdates:
+    def test_with_updates_changes_field(self):
+        p = SchedulingParams(n=10, p=2)
+        q = p.with_updates(n=20)
+        assert q.n == 20
+        assert q.p == 2
+        assert p.n == 10  # original untouched
+
+    def test_with_updates_revalidates(self):
+        p = SchedulingParams(n=10, p=2)
+        with pytest.raises(ValueError):
+            p.with_updates(n=-5)
+
+    def test_frozen(self):
+        p = SchedulingParams(n=10, p=2)
+        with pytest.raises(AttributeError):
+            p.n = 5  # type: ignore[misc]

@@ -1,0 +1,113 @@
+"""Tests for campaign persistence and regression checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.bold_experiments import run_bold_experiment
+from repro.experiments.persistence import (
+    CampaignRecord,
+    ExperimentSeries,
+    compare_campaigns,
+    regression_check,
+)
+from repro.experiments.tss_experiments import run_tss_experiment
+
+
+def small_record(offset=0.0) -> CampaignRecord:
+    record = CampaignRecord(metadata={"seed": 1})
+    record.add(ExperimentSeries(
+        experiment="bold-n256",
+        keys=[2, 8],
+        series={"SS": [64.0 + offset, 16.0 + offset],
+                "FAC2": [4.0 + offset, 5.0 + offset]},
+    ))
+    return record
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        record = small_record()
+        path = tmp_path / "campaign.json"
+        record.save(path)
+        back = CampaignRecord.load(path)
+        assert back.metadata == {"seed": 1}
+        assert back.experiments["bold-n256"].series == (
+            record.experiments["bold-n256"].series
+        )
+
+    def test_add_bold_result(self):
+        result = run_bold_experiment(
+            n=256, pe_counts=(2, 4), techniques=("SS", "FAC2"),
+            runs=2, simulator="direct", seed=3,
+        )
+        record = CampaignRecord()
+        series = record.add_bold_result(result)
+        assert series.experiment == "bold-n256"
+        assert series.provenance["runs"] == 2
+        assert set(series.series) == {"SS", "FAC2"}
+
+    def test_add_tss_result(self):
+        result = run_tss_experiment(2, pe_counts=(2, 8))
+        record = CampaignRecord()
+        series = record.add_tss_result(result)
+        assert series.experiment == "tss-exp2"
+        assert series.keys == [2, 8]
+
+    def test_roundtrip_through_disk_with_real_results(self, tmp_path):
+        result = run_bold_experiment(
+            n=256, pe_counts=(2,), techniques=("FAC2",),
+            runs=2, simulator="direct", seed=3,
+        )
+        record = CampaignRecord(metadata={"purpose": "test"})
+        record.add_bold_result(result)
+        path = tmp_path / "c.json"
+        record.save(path)
+        back = CampaignRecord.load(path)
+        assert back.experiments["bold-n256"].series["FAC2"] == (
+            pytest.approx(result.values["FAC2"])
+        )
+
+
+class TestComparison:
+    def test_identical_campaigns_have_zero_discrepancy(self):
+        rows = compare_campaigns(small_record(), small_record())
+        for row in rows["bold-n256"]:
+            assert row.max_abs_discrepancy == 0.0
+
+    def test_shifted_campaign_detected(self):
+        rows = compare_campaigns(small_record(offset=2.0), small_record())
+        fac2 = next(
+            r for r in rows["bold-n256"] if r.technique == "FAC2"
+        )
+        assert fac2.max_abs_relative_discrepancy == pytest.approx(50.0)
+
+    def test_missing_experiment_skipped(self):
+        a = small_record()
+        b = CampaignRecord()
+        assert compare_campaigns(a, b) == {}
+
+    def test_key_mismatch_rejected(self):
+        a = small_record()
+        b = small_record()
+        b.experiments["bold-n256"].keys = [2, 16]
+        with pytest.raises(ValueError, match="keys differ"):
+            compare_campaigns(a, b)
+
+
+class TestRegressionCheck:
+    def test_within_tolerance_passes(self):
+        assert regression_check(small_record(), small_record()) == []
+
+    def test_drift_reported(self):
+        problems = regression_check(
+            small_record(offset=3.0), small_record(), tolerance_percent=10.0
+        )
+        assert problems
+        assert any("FAC2" in p for p in problems)
+
+    def test_report_names_cell(self):
+        problems = regression_check(
+            small_record(offset=3.0), small_record(), tolerance_percent=10.0
+        )
+        assert any("@ 2" in p for p in problems)

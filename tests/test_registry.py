@@ -1,0 +1,103 @@
+"""Tests for the technique registry (repro.core.registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import Scheduler
+from repro.core.params import SchedulingParams
+from repro.core.registry import (
+    create,
+    get_technique,
+    iter_techniques,
+    make_factory,
+    register,
+    technique_names,
+)
+
+from conftest import ALL_TECHNIQUES
+
+
+def test_all_expected_techniques_registered():
+    names = technique_names()
+    for expected in ALL_TECHNIQUES:
+        assert expected in names
+
+
+def test_lookup_is_case_insensitive():
+    assert get_technique("GSS") is get_technique("gss")
+
+
+def test_unknown_name_lists_known(capsys):
+    with pytest.raises(KeyError, match="known:"):
+        get_technique("nope")
+
+
+def test_create_instantiates(params_small):
+    s = create("gss", params_small)
+    assert s.name == "gss"
+    assert s.params is params_small
+
+
+def test_create_passes_kwargs(params_small):
+    s = create("gss", params_small, min_chunk=7)
+    assert s.min_chunk_size == 7
+
+
+def test_make_factory(params_small):
+    factory = make_factory("css", k=13)
+    s = factory(params_small)
+    assert s.k == 13
+
+
+def test_iter_techniques_sorted():
+    names = [cls.name for cls in iter_techniques()]
+    assert names == sorted(names)
+
+
+def test_register_requires_name():
+    class Nameless(Scheduler):
+        name = ""
+
+        def _chunk_size(self, worker: int) -> int:
+            return 1
+
+    with pytest.raises(ValueError, match="non-empty 'name'"):
+        register(Nameless)
+
+
+def test_register_rejects_duplicates():
+    class DupA(Scheduler):
+        name = "dup-test"
+
+        def _chunk_size(self, worker: int) -> int:
+            return 1
+
+    class DupB(Scheduler):
+        name = "dup-test"
+
+        def _chunk_size(self, worker: int) -> int:
+            return 1
+
+    register(DupA)
+    try:
+        with pytest.raises(ValueError, match="duplicate"):
+            register(DupB)
+    finally:
+        from repro.core import registry
+
+        registry._REGISTRY.pop("dup-test", None)
+
+
+def test_registered_classes_have_labels_and_requires():
+    for cls in iter_techniques():
+        assert cls.label, cls
+        assert isinstance(cls.requires, frozenset), cls
+
+
+def test_every_technique_drains(params_small):
+    from repro.core.base import chunk_sizes
+
+    for name in technique_names():
+        sizes = chunk_sizes(create(name, params_small))
+        assert sum(sizes) == params_small.n, name

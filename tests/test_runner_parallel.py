@@ -1,0 +1,75 @@
+"""Tests for the campaign runner's process-parallel path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import (
+    RunTask,
+    expand_replications,
+    run_campaign,
+    run_replicated,
+)
+from repro.experiments.bold_experiments import scheduling_params
+from repro.workloads import ExponentialWorkload
+
+
+def make_task() -> RunTask:
+    return RunTask(
+        technique="fac2",
+        params=scheduling_params(256, 4),
+        workload=ExponentialWorkload(1.0),
+        simulator="direct",
+    )
+
+
+class TestExpandReplications:
+    def test_seeds_distinct(self):
+        tasks = expand_replications(make_task(), 5, campaign_seed=1)
+        assert len({t.seed_entropy for t in tasks}) == 5
+
+    def test_deterministic(self):
+        a = expand_replications(make_task(), 3, campaign_seed=2)
+        b = expand_replications(make_task(), 3, campaign_seed=2)
+        assert [t.seed_entropy for t in a] == [t.seed_entropy for t in b]
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValueError):
+            expand_replications(make_task(), 0, campaign_seed=1)
+
+
+class TestProcessPool:
+    def test_pool_path_matches_sequential(self):
+        """processes=2 exercises pickling + Pool; results must match the
+        in-process path exactly (same seeds, same tasks)."""
+        tasks = expand_replications(make_task(), 4, campaign_seed=7)
+        sequential = run_campaign(tasks, processes=1)
+        pooled = run_campaign(tasks, processes=2)
+        assert [r.makespan for r in pooled] == [
+            r.makespan for r in sequential
+        ]
+        assert [r.num_chunks for r in pooled] == [
+            r.num_chunks for r in sequential
+        ]
+
+    def test_run_replicated_with_pool(self):
+        results = run_replicated(
+            make_task(), 3, campaign_seed=9, processes=2
+        )
+        assert len(results) == 3
+        assert len({r.makespan for r in results}) == 3
+
+    def test_single_task_stays_in_process(self):
+        results = run_campaign([make_task()], processes=8)
+        assert len(results) == 1
+
+    def test_msg_tasks_pickle_through_pool(self):
+        task = RunTask(
+            technique="gss",
+            params=scheduling_params(128, 4),
+            workload=ExponentialWorkload(1.0),
+            simulator="msg",
+        )
+        tasks = expand_replications(task, 2, campaign_seed=3)
+        results = run_campaign(tasks, processes=2)
+        assert all(r.total_task_time > 0 for r in results)

@@ -1,0 +1,112 @@
+"""Tests for the real-execution DLS backend (repro.runtime)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import DLSExecutor, dls_map
+
+from conftest import BOLD_EIGHT
+
+
+class TestCorrectness:
+    def test_results_in_item_order(self):
+        report = DLSExecutor("gss", workers=3).map(
+            lambda x: x * x, list(range(100))
+        )
+        assert report.results == [x * x for x in range(100)]
+
+    @pytest.mark.parametrize("name", BOLD_EIGHT + ("awf-c", "af"))
+    def test_every_technique_executes_everything(self, name):
+        report = DLSExecutor(
+            name, workers=4, h=0.001, mu=1e-4, sigma=1e-4
+        ).map(lambda x: x + 1, list(range(64)))
+        assert report.results == list(range(1, 65))
+        assert sum(report.chunks_per_worker) == report.num_chunks
+
+    def test_empty_input(self):
+        report = DLSExecutor("fac2", workers=2).map(lambda x: x, [])
+        assert report.results == []
+        assert report.num_chunks == 0
+
+    def test_single_worker(self):
+        report = DLSExecutor("ss", workers=1).map(lambda x: -x, [1, 2, 3])
+        assert report.results == [-1, -2, -3]
+        assert report.num_chunks == 3
+
+    def test_dls_map_convenience(self):
+        assert dls_map(str, [1, 2, 3], technique="fac2", workers=2) == [
+            "1", "2", "3",
+        ]
+
+    def test_exception_propagates(self):
+        def boom(x):
+            if x == 5:
+                raise RuntimeError("task failed")
+            return x
+
+        with pytest.raises(RuntimeError, match="task failed"):
+            DLSExecutor("gss", workers=2).map(boom, list(range(10)))
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            DLSExecutor(workers=0)
+
+
+class TestParallelBehaviour:
+    def test_multiple_threads_participate(self):
+        seen: set[str] = set()
+        lock = threading.Lock()
+
+        def task(x):
+            with lock:
+                seen.add(threading.current_thread().name)
+            time.sleep(0.001)  # release the GIL so others get chunks
+            return x
+
+        report = DLSExecutor("ss", workers=4).map(task, list(range(64)))
+        assert len(seen) >= 2
+        assert all(c > 0 for c in report.chunks_per_worker)
+
+    def test_io_bound_speedup(self):
+        items = list(range(16))
+
+        def sleepy(x):
+            time.sleep(0.01)
+            return x
+
+        serial = DLSExecutor("fac2", workers=1).map(sleepy, items)
+        parallel = DLSExecutor("fac2", workers=8).map(sleepy, items)
+        assert parallel.wall_time < serial.wall_time / 2
+
+    def test_adaptive_technique_receives_real_timings(self):
+        executor = DLSExecutor("awf-c", workers=2)
+
+        def uneven(x):
+            time.sleep(0.002 if x % 2 else 0.0001)
+            return x
+
+        report = executor.map(uneven, list(range(200)))
+        assert report.results == list(range(200))
+        assert report.num_chunks >= 2
+
+
+class TestReport:
+    def test_utilization_bounded(self):
+        report = DLSExecutor("fac2", workers=4).map(
+            lambda x: x, list(range(100))
+        )
+        assert 0.0 <= report.utilization <= 1.0 + 1e-9
+
+    def test_wasted_time_nonnegative(self):
+        report = DLSExecutor("gss", workers=4).map(
+            lambda x: x, list(range(100))
+        )
+        assert report.average_wasted_time >= -1e-9
+
+    def test_technique_label(self):
+        report = DLSExecutor("fac2", workers=2).map(lambda x: x, [1])
+        assert report.technique == "FAC2"

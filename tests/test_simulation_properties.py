@@ -1,0 +1,139 @@
+"""Property-based tests on the simulators (hypothesis).
+
+Conservation laws both simulators must satisfy for any technique,
+workload and seed:
+
+* every task is executed exactly once (chunk sizes sum to n);
+* the makespan is at least every worker's busy time;
+* total busy time never exceeds p * makespan;
+* wasted times are non-negative; speedup never exceeds p;
+* the run is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import SchedulingParams
+from repro.core.registry import make_factory
+from repro.directsim import DirectSimulator
+from repro.simgrid import MasterWorkerSimulation
+from repro.workloads import (
+    BimodalWorkload,
+    ConstantWorkload,
+    ExponentialWorkload,
+    GammaWorkload,
+    UniformWorkload,
+)
+
+from conftest import BOLD_EIGHT
+
+TECHNIQUES = BOLD_EIGHT + ("tap", "awf-c", "af")
+
+workload_strategy = st.sampled_from([
+    ConstantWorkload(0.5),
+    ExponentialWorkload(1.0),
+    UniformWorkload(0.1, 2.0),
+    GammaWorkload(2.0, 0.5),
+    BimodalWorkload(0.2, 3.0),
+])
+
+config_strategy = st.fixed_dictionaries({
+    "n": st.integers(min_value=1, max_value=600),
+    "p": st.integers(min_value=1, max_value=16),
+    "h": st.sampled_from([0.0, 0.1, 1.0]),
+    "seed": st.integers(min_value=0, max_value=2**31 - 1),
+    "name": st.sampled_from(TECHNIQUES),
+    "workload": workload_strategy,
+})
+
+
+def check_conservation(result, params):
+    assert result.num_chunks >= 1 if params.n > 0 else result.num_chunks == 0
+    assert sum(result.chunks_per_worker) == result.num_chunks
+    assert result.makespan >= max(result.compute_times) - 1e-9
+    assert sum(result.compute_times) <= params.p * result.makespan + 1e-9
+    assert all(w >= -1e-9 for w in result.wasted_times)
+    assert result.speedup <= params.p + 1e-9
+    assert result.average_wasted_time >= -1e-9
+    assert result.total_task_time >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(cfg=config_strategy)
+def test_directsim_invariants(cfg):
+    params = SchedulingParams(
+        n=cfg["n"], p=cfg["p"], h=cfg["h"], mu=1.0, sigma=1.0
+    )
+    sim = DirectSimulator(params, cfg["workload"])
+    result = sim.run(make_factory(cfg["name"]), seed=cfg["seed"])
+    check_conservation(result, params)
+
+
+@settings(max_examples=20, deadline=None)
+@given(cfg=config_strategy)
+def test_msg_invariants(cfg):
+    params = SchedulingParams(
+        n=cfg["n"], p=cfg["p"], h=cfg["h"], mu=1.0, sigma=1.0
+    )
+    sim = MasterWorkerSimulation(params, cfg["workload"])
+    result = sim.run(make_factory(cfg["name"]), seed=cfg["seed"])
+    check_conservation(result, params)
+
+
+@settings(max_examples=15, deadline=None)
+@given(cfg=config_strategy)
+def test_directsim_reproducible_from_seed(cfg):
+    params = SchedulingParams(
+        n=cfg["n"], p=cfg["p"], h=cfg["h"], mu=1.0, sigma=1.0
+    )
+    sim = DirectSimulator(params, cfg["workload"])
+    a = sim.run(make_factory(cfg["name"]), seed=cfg["seed"])
+    b = sim.run(make_factory(cfg["name"]), seed=cfg["seed"])
+    assert a.makespan == b.makespan
+    assert a.compute_times == b.compute_times
+    assert a.num_chunks == b.num_chunks
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=400),
+    p=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+    name=st.sampled_from(BOLD_EIGHT),
+)
+def test_simulators_agree_on_free_network(n, p, seed, name):
+    """The paper's cross-validation as a property over random cells."""
+    params = SchedulingParams(n=n, p=p, h=0.5, mu=1.0, sigma=1.0)
+    workload = ExponentialWorkload(1.0)
+    direct = DirectSimulator(params, workload).run(
+        make_factory(name), seed=seed
+    )
+    msg = MasterWorkerSimulation(params, workload).run(
+        make_factory(name), seed=seed
+    )
+    assert msg.num_chunks == direct.num_chunks
+    assert msg.average_wasted_time == pytest.approx(
+        direct.average_wasted_time, rel=1e-6, abs=1e-9
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=400),
+    p=st.integers(min_value=2, max_value=8),
+    speed=st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+)
+def test_uniform_speedup_scaling(n, p, speed):
+    """Scaling every PE speed by c scales the makespan by 1/c."""
+    params = SchedulingParams(n=n, p=p, h=0.0, mu=1.0, sigma=1.0)
+    workload = ExponentialWorkload(1.0)
+    base = DirectSimulator(params, workload).run(
+        make_factory("gss"), seed=5
+    )
+    scaled = DirectSimulator(
+        params, workload, speeds=[speed] * p
+    ).run(make_factory("gss"), seed=5)
+    assert scaled.makespan * speed == pytest.approx(base.makespan, rel=1e-9)

@@ -1,0 +1,164 @@
+"""Tests for the statistical verification machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import (
+    bootstrap_ci,
+    equivalence_report,
+    ks_two_sample,
+    welch_t_test,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestWelch:
+    def test_same_distribution_compatible(self):
+        a = rng(1).normal(10, 2, 200)
+        b = rng(2).normal(10, 2, 200)
+        result = welch_t_test(a, b)
+        assert result.compatible()
+        assert abs(result.mean_difference) < 1.0
+
+    def test_shifted_means_detected(self):
+        a = rng(1).normal(10, 1, 200)
+        b = rng(2).normal(12, 1, 200)
+        result = welch_t_test(a, b)
+        assert not result.compatible()
+        assert result.p_value < 1e-6
+
+    def test_unequal_variances_handled(self):
+        a = rng(1).normal(10, 0.1, 50)
+        b = rng(2).normal(10, 5.0, 50)
+        result = welch_t_test(a, b)
+        assert result.compatible(alpha=0.001)
+        # Welch dof is far below the pooled 98 when variances differ.
+        assert result.degrees_of_freedom < 98
+
+    def test_identical_constant_samples(self):
+        result = welch_t_test([5.0, 5.0, 5.0], [5.0, 5.0])
+        assert result.p_value == 1.0
+        assert result.compatible()
+
+    def test_distinct_constant_samples(self):
+        result = welch_t_test([5.0, 5.0], [6.0, 6.0])
+        assert result.p_value == 0.0
+
+    def test_too_small_samples_rejected(self):
+        with pytest.raises(ValueError):
+            welch_t_test([1.0], [2.0, 3.0])
+
+    def test_matches_scipy(self):
+        from scipy import stats
+
+        a = rng(3).exponential(1.0, 40)
+        b = rng(4).exponential(1.2, 60)
+        ours = welch_t_test(a, b)
+        ref = stats.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(ref.statistic)
+        assert ours.p_value == pytest.approx(ref.pvalue, rel=1e-6)
+
+
+class TestBootstrap:
+    def test_ci_contains_true_mean_usually(self):
+        hits = 0
+        for i in range(20):
+            sample = rng(i).normal(5.0, 1.0, 100)
+            ci = bootstrap_ci(sample, resamples=500, seed=i)
+            hits += ci.contains(5.0)
+        assert hits >= 17  # ~95% coverage
+
+    def test_interval_brackets_statistic(self):
+        sample = rng(0).exponential(1.0, 50)
+        ci = bootstrap_ci(sample)
+        assert ci.low <= ci.statistic <= ci.high
+
+    def test_custom_statistic(self):
+        sample = rng(0).exponential(1.0, 200)
+        ci = bootstrap_ci(sample, statistic=np.median)
+        assert ci.low <= np.median(sample) <= ci.high
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_deterministic_given_seed(self):
+        sample = list(rng(0).normal(0, 1, 30))
+        a = bootstrap_ci(sample, seed=7)
+        b = bootstrap_ci(sample, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+
+class TestKs:
+    def test_same_distribution_compatible(self):
+        a = rng(1).exponential(1.0, 300)
+        b = rng(2).exponential(1.0, 300)
+        assert ks_two_sample(a, b).compatible()
+
+    def test_different_shapes_detected(self):
+        a = rng(1).exponential(1.0, 300)
+        b = rng(2).normal(1.0, 1.0, 300)
+        assert not ks_two_sample(a, b).compatible()
+
+    def test_statistic_in_unit_interval(self):
+        a = rng(1).normal(0, 1, 50)
+        b = rng(2).normal(0, 1, 50)
+        result = ks_two_sample(a, b)
+        assert 0.0 <= result.statistic <= 1.0
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_matches_scipy_statistic(self):
+        from scipy import stats
+
+        a = rng(3).exponential(1.0, 80)
+        b = rng(4).exponential(1.5, 120)
+        ours = ks_two_sample(a, b)
+        ref = stats.ks_2samp(a, b)
+        assert ours.statistic == pytest.approx(ref.statistic)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_two_sample([], [1.0])
+
+
+class TestEquivalenceReport:
+    def test_agreeing_simulator_samples(self):
+        """The real use: wasted times from both simulators agree."""
+        from repro.core.params import SchedulingParams
+        from repro.core.registry import make_factory
+        from repro.directsim import DirectSimulator
+        from repro.simgrid import MasterWorkerSimulation
+        from repro.workloads import ExponentialWorkload
+
+        params = SchedulingParams(n=512, p=8, h=0.5, mu=1.0, sigma=1.0)
+        workload = ExponentialWorkload(1.0)
+        direct = [
+            DirectSimulator(params, workload)
+            .run(make_factory("fac2"), seed=i)
+            .average_wasted_time
+            for i in range(40)
+        ]
+        msg = [
+            MasterWorkerSimulation(params, workload)
+            .run(make_factory("fac2"), seed=1000 + i)
+            .average_wasted_time
+            for i in range(40)
+        ]
+        report = equivalence_report(direct, msg)
+        assert report.agree(alpha=0.001, max_relative_difference=0.3)
+
+    def test_disagreeing_samples(self):
+        a = rng(1).normal(10, 1, 100)
+        b = rng(2).normal(20, 1, 100)
+        report = equivalence_report(a, b)
+        assert not report.agree()
+        assert report.relative_mean_difference == pytest.approx(-0.5, abs=0.05)

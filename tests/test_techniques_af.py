@@ -1,0 +1,85 @@
+"""Tests for AF (adaptive factoring)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.base import chunk_sizes
+from repro.core.params import SchedulingParams
+from repro.core.registry import create
+from repro.core.techniques.adaptive_factoring import af_chunk
+
+
+class TestAfChunkFormula:
+    def test_homogeneous_estimates(self):
+        # D = p * sigma^2/mu; T = R mu / p.
+        r, p, mu, var = 1000, 4, 1.0, 1.0
+        d = p * var / mu
+        t = r / (p / mu)
+        expected = (d + 2 * t - math.sqrt(d * d + 4 * d * t)) / (2 * mu)
+        got = af_chunk(r, [mu] * p, [var] * p, worker=0)
+        assert got == max(1, math.ceil(expected))
+
+    def test_zero_variance_gives_even_share(self):
+        # D = 0 -> chunk = T / mu = R/p.
+        assert af_chunk(1000, [1.0] * 4, [0.0] * 4, 0) == 250
+
+    def test_slow_worker_gets_smaller_chunk(self):
+        mu = [1.0, 4.0]           # worker 1 is 4x slower per task
+        var = [1.0, 1.0]
+        fast = af_chunk(1000, mu, var, 0)
+        slow = af_chunk(1000, mu, var, 1)
+        assert slow < fast
+
+    def test_floors_at_one(self):
+        assert af_chunk(2, [1.0] * 8, [100.0] * 8, 0) == 1
+
+    def test_zero_remaining(self):
+        assert af_chunk(0, [1.0], [1.0], 0) == 0
+
+
+class TestAfScheduler:
+    def test_conservation(self):
+        params = SchedulingParams(n=2048, p=4)
+        assert sum(chunk_sizes(create("af", params))) == 2048
+
+    def test_warmup_uses_fac2_style_chunks(self):
+        params = SchedulingParams(n=1024, p=4)
+        s = create("af", params)
+        assert s.next_chunk(0) == math.ceil(1024 / 8)
+
+    def test_estimates_populated_after_feedback(self):
+        params = SchedulingParams(n=1024, p=2)
+        s = create("af", params)
+        for _ in range(2):
+            size = s.next_chunk(0)
+            s.record_finished(0, size, elapsed=size * 2.0)
+        mu, var = s.estimates_for(0)
+        assert mu == pytest.approx(2.0)
+        assert var == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_estimates_before_feedback(self):
+        s = create("af", SchedulingParams(n=10, p=2))
+        mu, var = s.estimates_for(0)
+        assert mu is None
+        assert var is None
+
+    def test_adapts_to_heterogeneous_speeds(self):
+        params = SchedulingParams(n=8192, p=2)
+        s = create("af", params)
+        got = {0: 0, 1: 0}
+        worker = 0
+        while not s.done:
+            size = s.next_chunk(worker)
+            if size == 0:
+                break
+            got[worker] += size
+            speed = 1.0 if worker == 0 else 5.0
+            s.record_finished(worker, size, elapsed=size / speed)
+            worker = 1 - worker
+        assert got[1] > got[0]
+
+    def test_marked_adaptive(self):
+        assert create("af", SchedulingParams(n=10, p=2)).adaptive

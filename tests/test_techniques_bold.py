@@ -1,0 +1,95 @@
+"""Tests for the BOLD strategy (overhead-aware factoring)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import chunk_sizes
+from repro.core.params import SchedulingParams
+from repro.core.registry import create
+from repro.core.techniques.bold import kw_floor
+
+
+def bold_params(n=1024, p=8, h=0.5, mu=1.0, sigma=1.0) -> SchedulingParams:
+    return SchedulingParams(n=n, p=p, h=h, mu=mu, sigma=sigma)
+
+
+class TestKwFloor:
+    def test_zero_remaining(self):
+        assert kw_floor(0, 8, 0.5, 1.0) == 0
+
+    def test_no_overhead_floors_at_one(self):
+        assert kw_floor(1000, 8, 0.0, 1.0) == 1
+
+    def test_no_variance_floors_at_one(self):
+        assert kw_floor(1000, 8, 0.5, 0.0) == 1
+
+    def test_grows_with_overhead(self):
+        assert kw_floor(10_000, 8, 5.0, 1.0) > kw_floor(10_000, 8, 0.05, 1.0)
+
+
+class TestBold:
+    def test_conservation(self):
+        for n in (1, 13, 1024, 10_000):
+            s = create("bold", bold_params(n=n))
+            assert sum(chunk_sizes(s)) == n, n
+
+    def test_requires_full_parameter_set(self):
+        assert create("bold", bold_params()).requires == frozenset(
+            {"p", "r", "h", "mu", "sigma", "m"}
+        )
+
+    def test_missing_mu_rejected(self):
+        with pytest.raises(ValueError, match="requires parameters"):
+            create("bold", SchedulingParams(n=10, p=2, h=0.5, sigma=1.0))
+
+    def test_zero_overhead_matches_factoring(self):
+        # With h = 0 the KW floor vanishes; BOLD degenerates to FAC.
+        params = bold_params(h=0.0)
+        bold = chunk_sizes(create("bold", params))
+        fac = chunk_sizes(create("fac", params))
+        assert bold == fac
+
+    def test_tail_coarser_than_factoring_under_overhead(self):
+        # The bold floor means fewer scheduling operations than FAC when
+        # overhead is substantial.
+        params = bold_params(n=4096, p=8, h=2.0)
+        bold = create("bold", params)
+        fac = create("fac", params)
+        chunk_sizes(bold)
+        chunk_sizes(fac)
+        assert bold.num_scheduling_operations <= fac.num_scheduling_operations
+
+    def test_chunks_capped_by_fair_share_at_batch_start(self):
+        # Chunks never exceed the fair share ceil(m/p) evaluated when
+        # their batch began, and never exceed ceil(n/p) at all.
+        params = bold_params(n=1000, p=4, h=50.0)  # large h engages the cap
+        s = create("bold", params)
+        global_cap = -(-params.n // params.p)
+        batch_cap = global_cap
+        prev_batch = 0
+        while not s.done:
+            if s._batch_left <= 0:
+                batch_cap = -(-max(1, s.state.in_flight_plus_remaining)
+                              // params.p)
+            size = s.next_chunk(0)
+            assert size <= global_cap
+            assert size <= max(1, batch_cap)
+            prev_batch = s._batch_index
+            s.record_finished(0, size, elapsed=float(size))
+        assert prev_batch >= 1
+
+    def test_decreasing_batch_sizes(self):
+        s = create("bold", bold_params(n=8192, p=8))
+        sizes = chunk_sizes(s)
+        # Batched decrease: first chunk largest.
+        assert sizes[0] == max(sizes)
+
+    def test_more_overhead_means_fewer_chunks(self):
+        low = create("bold", bold_params(n=8192, p=8, h=0.05))
+        high = create("bold", bold_params(n=8192, p=8, h=5.0))
+        chunk_sizes(low)
+        chunk_sizes(high)
+        assert (
+            high.num_scheduling_operations <= low.num_scheduling_operations
+        )

@@ -1,0 +1,149 @@
+"""Tests for the extended techniques (TFSS, FISS, VISS, RND, PLS)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import chunk_sizes
+from repro.core.params import SchedulingParams
+from repro.core.registry import create
+
+
+def params(n=1000, p=4, **kw) -> SchedulingParams:
+    return SchedulingParams(n=n, p=p, **kw)
+
+
+class TestTfss:
+    def test_conservation(self):
+        for n in (1, 10, 1000, 4097):
+            assert sum(chunk_sizes(create("tfss", params(n=n)))) == n
+
+    def test_batch_uniform_chunks(self):
+        sizes = chunk_sizes(create("tfss", params()))
+        # Chunks within a batch of p are equal.
+        assert sizes[0] == sizes[1] == sizes[2] == sizes[3]
+
+    def test_batches_decrease(self):
+        sizes = chunk_sizes(create("tfss", params(n=4000)))
+        batch_sizes = sizes[::4]
+        assert batch_sizes == sorted(batch_sizes, reverse=True)
+
+    def test_batch_mean_below_tss_first_chunk(self):
+        tss = create("tss", params())
+        tfss = create("tfss", params())
+        # TFSS's first batch chunk is the mean of p trapezoid steps,
+        # hence smaller than TSS's first chunk.
+        assert tfss.next_chunk(0) <= tss.next_chunk(0)
+
+    def test_invalid_f_l(self):
+        with pytest.raises(ValueError, match="l <= f"):
+            create("tfss", params(), first_chunk=2, last_chunk=10)
+
+
+class TestFiss:
+    def test_conservation(self):
+        for n in (1, 10, 1000, 4097):
+            assert sum(chunk_sizes(create("fiss", params(n=n)))) == n
+
+    def test_chunks_increase_across_batches(self):
+        s = create("fiss", params(n=4000))
+        sizes = chunk_sizes(s)
+        batch_sizes = []
+        for i in range(0, len(sizes) - 4, 4):
+            batch_sizes.append(sizes[i])
+        increasing = [
+            b for a, b in zip(batch_sizes, batch_sizes[1:]) if b >= a
+        ]
+        assert len(increasing) >= len(batch_sizes) - 2
+
+    def test_custom_batch_budget(self):
+        s = create("fiss", params(), batches=2)
+        assert s.batches == 2
+        assert sum(chunk_sizes(s)) == 1000
+
+    def test_invalid_batches(self):
+        with pytest.raises(ValueError):
+            create("fiss", params(), batches=0)
+
+
+class TestViss:
+    def test_conservation(self):
+        for n in (1, 10, 1000, 4097):
+            assert sum(chunk_sizes(create("viss", params(n=n)))) == n
+
+    def test_chunks_nondecreasing(self):
+        sizes = chunk_sizes(create("viss", params(n=4000)))
+        # Ignoring the clipped final chunk, sizes never shrink.
+        assert sizes[:-1] == sorted(sizes[:-1])
+
+    def test_increments_halve(self):
+        s = create("viss", params(n=10_000, p=2))
+        sizes = chunk_sizes(s)
+        batch = sorted(set(sizes[:-1]))
+        # c0, c0 + c0/2, c0 + c0/2 + c0/4 ...
+        if len(batch) >= 3:
+            inc1 = batch[1] - batch[0]
+            inc2 = batch[2] - batch[1]
+            assert inc2 <= inc1
+
+
+class TestRnd:
+    def test_conservation(self):
+        assert sum(chunk_sizes(create("rnd", params()))) == 1000
+
+    def test_bounds_respected(self):
+        s = create("rnd", params(n=10_000, p=4))
+        sizes = chunk_sizes(s)
+        assert all(1 <= x <= 10_000 // 8 for x in sizes[:-1])
+
+    def test_seeded_determinism(self):
+        a = chunk_sizes(create("rnd", params(), seed=5))
+        b = chunk_sizes(create("rnd", params(), seed=5))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = chunk_sizes(create("rnd", params(), seed=1))
+        b = chunk_sizes(create("rnd", params(), seed=2))
+        assert a != b
+
+
+class TestPls:
+    def test_conservation(self):
+        for n in (1, 10, 1000, 4097):
+            assert sum(chunk_sizes(create("pls", params(n=n)))) == n
+
+    def test_static_prefix_per_worker(self):
+        s = create("pls", params(n=1000, p=4), swr=0.5)
+        # Each worker's first chunk is the even static share: 125 tasks.
+        for w in range(4):
+            assert s.next_chunk(w) == 125
+
+    def test_dynamic_tail_is_guided(self):
+        s = create("pls", params(n=1000, p=4), swr=0.5)
+        for w in range(4):
+            s.next_chunk(w)
+        # After the static phase, chunks follow GSS on the remainder.
+        assert s.next_chunk(0) == 125  # ceil(500/4)
+
+    def test_swr_zero_is_pure_gss(self):
+        a = chunk_sizes(create("pls", params(), swr=0.0))
+        b = chunk_sizes(create("gss", params()))
+        assert a == b
+
+    def test_swr_validated(self):
+        with pytest.raises(ValueError):
+            create("pls", params(), swr=1.5)
+
+
+class TestExtendedGeneric:
+    @pytest.mark.parametrize("name", ["tfss", "fiss", "viss", "rnd", "pls"])
+    def test_registered_and_simulatable(self, name):
+        from repro.core.registry import make_factory
+        from repro.directsim import DirectSimulator
+        from repro.workloads import ExponentialWorkload
+
+        pr = SchedulingParams(n=512, p=8, h=0.1, mu=1.0, sigma=1.0)
+        sim = DirectSimulator(pr, ExponentialWorkload(1.0))
+        result = sim.run(make_factory(name), seed=3)
+        assert result.total_task_time > 0
+        assert result.speedup <= 8 + 1e-9

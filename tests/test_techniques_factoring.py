@@ -1,0 +1,106 @@
+"""Tests for FAC and FAC2 (factoring) and their batch machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.base import chunk_sizes
+from repro.core.params import SchedulingParams
+from repro.core.registry import create
+from repro.core.techniques.factoring import factoring_x
+
+
+class TestFactoringX:
+    def test_zero_sigma_first_batch_is_one(self):
+        assert factoring_x(1000, 4, 1.0, 0.0, first_batch=True) == 1.0
+
+    def test_zero_sigma_later_batch_is_two(self):
+        assert factoring_x(1000, 4, 1.0, 0.0, first_batch=False) == 2.0
+
+    def test_first_batch_formula(self):
+        r, p, mu, sigma = 1000, 4, 1.0, 1.0
+        b = (p / (2 * math.sqrt(r))) * (sigma / mu)
+        expected = 1 + b * b + b * math.sqrt(b * b + 2)
+        assert factoring_x(r, p, mu, sigma, True) == pytest.approx(expected)
+
+    def test_later_batch_formula(self):
+        r, p, mu, sigma = 500, 4, 1.0, 1.0
+        b = (p / (2 * math.sqrt(r))) * (sigma / mu)
+        expected = 2 + b * b + b * math.sqrt(b * b + 4)
+        assert factoring_x(r, p, mu, sigma, False) == pytest.approx(expected)
+
+    def test_x_grows_with_variance(self):
+        low = factoring_x(1000, 8, 1.0, 0.5, False)
+        high = factoring_x(1000, 8, 1.0, 2.0, False)
+        assert high > low
+
+    def test_later_x_at_least_two(self):
+        assert factoring_x(10, 64, 1.0, 3.0, False) >= 2.0
+
+
+class TestFac2:
+    def test_halving_batches(self):
+        # n=1024, p=4: batches of chunk ceil(1024/8)=128, then 64, 32, ...
+        s = create("fac2", SchedulingParams(n=1024, p=4))
+        sizes = chunk_sizes(s)
+        assert sizes[:4] == [128, 128, 128, 128]
+        assert sizes[4:8] == [64, 64, 64, 64]
+        assert sum(sizes) == 1024
+
+    def test_batch_chunk_closed_form(self):
+        s = create("fac2", SchedulingParams(n=4096, p=8))
+        sizes = chunk_sizes(s)
+        expected_first = math.ceil(4096 / (2 * 8))
+        assert sizes[0] == expected_first
+
+    def test_terminates_with_single_task_chunks(self):
+        s = create("fac2", SchedulingParams(n=100, p=4))
+        sizes = chunk_sizes(s)
+        assert sizes[-1] >= 1
+        assert sum(sizes) == 100
+
+    def test_requires_only_p_r(self):
+        # FAC2 must work without mu/sigma (Table II).
+        s = create("fac2", SchedulingParams(n=100, p=4))
+        assert sum(chunk_sizes(s)) == 100
+
+
+class TestFac:
+    def test_requires_mu_sigma(self):
+        with pytest.raises(ValueError, match="requires parameters"):
+            create("fac", SchedulingParams(n=100, p=4))
+
+    def test_first_batch_larger_than_fac2(self):
+        # With modest variance x_0 ~ 1, so FAC's first chunks exceed
+        # FAC2's R/(2p).
+        params = SchedulingParams(n=10_000, p=4, mu=1.0, sigma=0.5)
+        fac = chunk_sizes(create("fac", params))
+        fac2 = chunk_sizes(create("fac2", params))
+        assert fac[0] > fac2[0]
+
+    def test_zero_variance_degenerates_to_static_first_batch(self):
+        params = SchedulingParams(n=1000, p=4, mu=1.0, sigma=0.0)
+        sizes = chunk_sizes(create("fac", params))
+        assert sizes[:4] == [250, 250, 250, 250]
+
+    def test_high_variance_schedules_conservatively(self):
+        cautious = chunk_sizes(
+            create("fac", SchedulingParams(n=1000, p=4, mu=1.0, sigma=5.0))
+        )
+        confident = chunk_sizes(
+            create("fac", SchedulingParams(n=1000, p=4, mu=1.0, sigma=0.1))
+        )
+        assert cautious[0] < confident[0]
+
+    def test_batch_uniformity(self):
+        # Within a batch all full chunks are equal.
+        s = create("fac", SchedulingParams(n=4096, p=4, mu=1.0, sigma=1.0))
+        sizes = chunk_sizes(s)
+        assert sizes[0] == sizes[1] == sizes[2] == sizes[3]
+
+    def test_conservation(self):
+        for n in (1, 7, 100, 4097):
+            s = create("fac", SchedulingParams(n=n, p=3, mu=1.0, sigma=1.0))
+            assert sum(chunk_sizes(s)) == n

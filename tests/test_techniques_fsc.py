@@ -1,0 +1,63 @@
+"""Tests for FSC — fixed size chunking (Kruskal & Weiss)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.base import chunk_sizes
+from repro.core.params import SchedulingParams
+from repro.core.registry import create
+from repro.core.techniques.fixed_size import optimal_fixed_chunk
+
+
+class TestOptimalFixedChunk:
+    def test_formula_value(self):
+        # k = (sqrt(2) n h / (sigma p sqrt(ln p)))^(2/3)
+        n, p, h, sigma = 1024, 8, 0.5, 1.0
+        expected = (
+            math.sqrt(2) * n * h / (sigma * p * math.sqrt(math.log(p)))
+        ) ** (2 / 3)
+        assert optimal_fixed_chunk(n, p, h, sigma) == math.ceil(expected)
+
+    def test_larger_overhead_gives_larger_chunks(self):
+        small = optimal_fixed_chunk(10_000, 16, 0.01, 1.0)
+        large = optimal_fixed_chunk(10_000, 16, 10.0, 1.0)
+        assert large > small
+
+    def test_larger_variance_gives_smaller_chunks(self):
+        low = optimal_fixed_chunk(10_000, 16, 0.5, 0.1)
+        high = optimal_fixed_chunk(10_000, 16, 0.5, 10.0)
+        assert high < low
+
+    def test_zero_sigma_falls_back_to_even_share(self):
+        assert optimal_fixed_chunk(100, 4, 0.5, 0.0) == 25
+
+    def test_single_pe_takes_everything(self):
+        assert optimal_fixed_chunk(100, 1, 0.5, 1.0) == 100
+
+    def test_zero_overhead_floors_at_one(self):
+        assert optimal_fixed_chunk(100, 4, 0.0, 1.0) == 1
+
+    def test_zero_tasks(self):
+        assert optimal_fixed_chunk(0, 4, 0.5, 1.0) == 1
+
+
+class TestFscScheduler:
+    def test_constant_chunks(self):
+        params = SchedulingParams(n=1024, p=8, h=0.5, sigma=1.0)
+        s = create("fsc", params)
+        sizes = chunk_sizes(s)
+        assert sum(sizes) == 1024
+        # All chunks equal except possibly the last (clipped).
+        assert len(set(sizes[:-1])) == 1
+
+    def test_requires_h_and_sigma(self):
+        with pytest.raises(ValueError, match="requires parameters"):
+            create("fsc", SchedulingParams(n=10, p=2, h=0.5))
+
+    def test_missing_sigma_defaults_rejected_by_validation(self):
+        # Table II: FSC needs p, n, h, sigma.
+        params = SchedulingParams(n=10, p=2, h=0.5, sigma=1.0)
+        assert create("fsc", params).k >= 1

@@ -1,0 +1,109 @@
+"""Tests for GSS (guided self scheduling) and TSS (trapezoid)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.base import chunk_sizes
+from repro.core.params import SchedulingParams
+from repro.core.registry import create
+
+
+class TestGuidedSelfScheduling:
+    def test_first_chunk_is_ceil_n_over_p(self):
+        s = create("gss", SchedulingParams(n=1000, p=4))
+        assert s.next_chunk(0) == 250
+
+    def test_guided_decrease(self):
+        s = create("gss", SchedulingParams(n=1000, p=4))
+        sizes = chunk_sizes(s)
+        assert sizes == sorted(sizes, reverse=True)
+        assert sum(sizes) == 1000
+
+    def test_exact_sequence_small(self):
+        # n=20, p=4: ceil(20/4)=5, ceil(15/4)=4, ceil(11/4)=3, ceil(8/4)=2,
+        # ceil(6/4)=2, then 1, 1, 1, 1.
+        s = create("gss", SchedulingParams(n=20, p=4))
+        assert chunk_sizes(s) == [5, 4, 3, 2, 2, 1, 1, 1, 1]
+
+    def test_min_chunk_floors_sizes(self):
+        s = create("gss", SchedulingParams(n=1000, p=4), min_chunk=80)
+        sizes = chunk_sizes(s)
+        # Every chunk except the final clipped one respects the floor.
+        assert all(x >= 80 for x in sizes[:-1])
+        assert sum(sizes) == 1000
+
+    def test_min_chunk_from_params(self):
+        s = create("gss", SchedulingParams(n=1000, p=4, min_chunk=5))
+        assert s.min_chunk_size == 5
+
+    def test_invalid_min_chunk(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            create("gss", SchedulingParams(n=10, p=2), min_chunk=0)
+
+    def test_label_with_k(self):
+        s = create("gss", SchedulingParams(n=10, p=2), min_chunk=80)
+        assert s.label_with_k == "GSS(80)"
+
+    def test_gss1_schedules_tail_finely(self):
+        s = create("gss", SchedulingParams(n=100, p=10))
+        sizes = chunk_sizes(s)
+        assert sizes[-1] == 1
+
+
+class TestTrapezoidSelfScheduling:
+    def test_defaults_f_and_l(self):
+        s = create("tss", SchedulingParams(n=1000, p=4))
+        assert s.first == math.ceil(1000 / 8)  # n / (2p)
+        assert s.last == 1
+
+    def test_planned_chunk_count(self):
+        s = create("tss", SchedulingParams(n=1000, p=4))
+        # N = ceil(2n / (f + l)) = ceil(2000 / 126) = 16
+        assert s.num_planned_chunks == 16
+
+    def test_linear_decrease(self):
+        s = create("tss", SchedulingParams(n=1000, p=4))
+        sizes = chunk_sizes(s)
+        assert sum(sizes) == 1000
+        deltas = [a - b for a, b in zip(sizes, sizes[1:-1])]
+        # Differences are near-constant (rounding wobbles by <= 1).
+        assert all(abs(d - deltas[0]) <= 1 for d in deltas)
+
+    def test_explicit_f_l(self):
+        s = create("tss", SchedulingParams(n=100, p=2), first_chunk=20,
+                   last_chunk=10)
+        sizes = chunk_sizes(s)
+        assert sizes[0] == 20
+        assert sum(sizes) == 100
+
+    def test_f_l_from_params(self):
+        s = create(
+            "tss",
+            SchedulingParams(n=100, p=2, first_chunk=25, last_chunk=5),
+        )
+        assert s.first == 25
+        assert s.last == 5
+
+    def test_l_greater_than_f_rejected(self):
+        with pytest.raises(ValueError, match="l <= f"):
+            create("tss", SchedulingParams(n=100, p=2), first_chunk=5,
+                   last_chunk=10)
+
+    def test_chunks_never_below_last(self):
+        s = create("tss", SchedulingParams(n=500, p=4), first_chunk=50,
+                   last_chunk=5)
+        sizes = chunk_sizes(s)
+        assert all(x >= 5 for x in sizes[:-1])
+
+    def test_single_chunk_degenerate(self):
+        s = create("tss", SchedulingParams(n=10, p=1), first_chunk=10,
+                   last_chunk=10)
+        assert chunk_sizes(s) == [10]
+
+    def test_monotone_nonincreasing(self):
+        s = create("tss", SchedulingParams(n=2000, p=8))
+        sizes = chunk_sizes(s)
+        assert sizes == sorted(sizes, reverse=True)

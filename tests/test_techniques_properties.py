@@ -1,0 +1,146 @@
+"""Property-based tests on the DLS techniques (hypothesis).
+
+Invariants every technique must satisfy for any valid configuration and
+any request pattern:
+
+* conservation — assigned chunk sizes sum to exactly ``n``;
+* positivity — every assigned chunk has size >= 1;
+* progress — the scheduler reaches ``done`` in finitely many operations;
+* bounded operations — never more scheduling operations than tasks;
+* determinism — identical inputs and request order give identical chunks
+  (for the non-adaptive techniques).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import chunk_sizes
+from repro.core.params import SchedulingParams
+from repro.core.registry import create
+
+from conftest import ALL_TECHNIQUES, NON_ADAPTIVE
+
+# Keep n moderate so SS (n operations) stays fast under hypothesis.
+configs = st.fixed_dictionaries(
+    {
+        "n": st.integers(min_value=0, max_value=2000),
+        "p": st.integers(min_value=1, max_value=64),
+        "h": st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        "mu": st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        "sigma": st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    }
+)
+
+
+def make_params(cfg) -> SchedulingParams:
+    return SchedulingParams(**cfg)
+
+
+@settings(max_examples=25, deadline=None)
+@given(cfg=configs, name=st.sampled_from(ALL_TECHNIQUES))
+def test_conservation_and_positivity(cfg, name):
+    params = make_params(cfg)
+    sizes = chunk_sizes(create(name, params))
+    assert sum(sizes) == params.n
+    assert all(s >= 1 for s in sizes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(cfg=configs, name=st.sampled_from(ALL_TECHNIQUES))
+def test_bounded_scheduling_operations(cfg, name):
+    params = make_params(cfg)
+    scheduler = create(name, params)
+    sizes = chunk_sizes(scheduler)
+    assert len(sizes) <= max(params.n, 1)
+    assert scheduler.num_scheduling_operations == len(sizes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(cfg=configs, name=st.sampled_from(NON_ADAPTIVE))
+def test_determinism_of_non_adaptive(cfg, name):
+    params = make_params(cfg)
+    a = chunk_sizes(create(name, params))
+    b = chunk_sizes(create(name, params))
+    assert a == b
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    cfg=configs,
+    name=st.sampled_from(ALL_TECHNIQUES),
+    order=st.lists(st.integers(min_value=0, max_value=63), max_size=50),
+)
+def test_arbitrary_request_orders(cfg, name, order):
+    """Any sequence of worker requests drains the scheduler correctly."""
+    params = make_params(cfg)
+    scheduler = create(name, params)
+    total = 0
+    # First follow the arbitrary prefix of requests...
+    for w in order:
+        if scheduler.done:
+            break
+        size = scheduler.next_chunk(w % params.p)
+        total += size
+        scheduler.record_finished(w % params.p, size, elapsed=size * 1.0)
+    # ...then drain round-robin.
+    w = 0
+    while not scheduler.done:
+        size = scheduler.next_chunk(w)
+        total += size
+        scheduler.record_finished(w, size, elapsed=size * 1.0)
+        w = (w + 1) % params.p
+    assert total == params.n
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    p=st.integers(min_value=1, max_value=128),
+)
+def test_gss_chunks_nonincreasing(n, p):
+    sizes = chunk_sizes(create("gss", SchedulingParams(n=n, p=p)))
+    assert sizes == sorted(sizes, reverse=True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    p=st.integers(min_value=1, max_value=128),
+)
+def test_tss_chunks_nonincreasing(n, p):
+    sizes = chunk_sizes(create("tss", SchedulingParams(n=n, p=p)))
+    assert sizes == sorted(sizes, reverse=True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    p=st.integers(min_value=1, max_value=64),
+)
+def test_fac2_batch_structure(n, p):
+    """FAC2 chunk sizes halve batch over batch (up to rounding)."""
+    sizes = chunk_sizes(create("fac2", SchedulingParams(n=n, p=p)))
+    # Batch boundaries occur whenever the size changes; sizes within a
+    # run of equal values form batches of at most p chunks (the last
+    # chunk of a batch may be clipped).
+    previous = sizes[0]
+    for size in sizes[1:]:
+        assert size <= previous or size == 1
+        previous = max(previous, size)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=10, max_value=2000),
+    p=st.integers(min_value=2, max_value=32),
+    h=st.floats(min_value=0.001, max_value=5.0, allow_nan=False),
+)
+def test_stat_always_fewest_operations(n, p, h):
+    """No technique schedules fewer chunks than STAT (= min(n, p))."""
+    params = SchedulingParams(n=n, p=p, h=h, mu=1.0, sigma=1.0)
+    stat_ops = len(chunk_sizes(create("stat", params)))
+    for name in ("gss", "tss", "fac", "fac2", "bold", "tap"):
+        ops = len(chunk_sizes(create(name, params)))
+        assert ops >= stat_ops, name

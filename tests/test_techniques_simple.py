@@ -1,0 +1,79 @@
+"""Tests for STAT, SS and CSS — the baseline techniques."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import chunk_sizes
+from repro.core.params import SchedulingParams
+from repro.core.registry import create
+
+
+class TestStaticChunking:
+    def test_equal_chunks(self):
+        s = create("stat", SchedulingParams(n=100, p=4))
+        assert chunk_sizes(s) == [25, 25, 25, 25]
+
+    def test_uneven_division_ceils(self):
+        # ceil(10/3) = 4, so chunks are 4, 4, 2.
+        s = create("stat", SchedulingParams(n=10, p=3))
+        assert chunk_sizes(s) == [4, 4, 2]
+
+    def test_exactly_p_scheduling_operations_at_most(self):
+        s = create("stat", SchedulingParams(n=1000, p=7))
+        sizes = chunk_sizes(s)
+        assert len(sizes) <= 7
+
+    def test_single_pe_takes_everything(self):
+        s = create("stat", SchedulingParams(n=42, p=1))
+        assert chunk_sizes(s) == [42]
+
+    def test_more_pes_than_tasks(self):
+        s = create("stat", SchedulingParams(n=3, p=8))
+        assert chunk_sizes(s) == [1, 1, 1]
+
+    def test_requires_matches_table2(self):
+        assert create(
+            "stat", SchedulingParams(n=1, p=1)
+        ).requires == frozenset({"p", "n"})
+
+
+class TestSelfScheduling:
+    def test_all_chunks_are_one(self):
+        s = create("ss", SchedulingParams(n=25, p=4))
+        assert chunk_sizes(s) == [1] * 25
+
+    def test_n_scheduling_operations(self):
+        s = create("ss", SchedulingParams(n=100, p=3))
+        chunk_sizes(s)
+        assert s.num_scheduling_operations == 100
+
+    def test_requires_nothing(self):
+        assert create("ss", SchedulingParams(n=1, p=1)).requires == frozenset()
+
+
+class TestChunkSelfScheduling:
+    def test_default_k_is_n_over_p(self):
+        # Tzen & Ni use k = n/p; with n=100000, p=72 that is 1389.
+        s = create("css", SchedulingParams(n=100_000, p=72))
+        assert s.k == 1389
+
+    def test_explicit_k(self):
+        s = create("css", SchedulingParams(n=100, p=4), k=10)
+        assert chunk_sizes(s) == [10] * 10
+
+    def test_k_from_params(self):
+        s = create("css", SchedulingParams(n=100, p=4, chunk_size=30))
+        assert chunk_sizes(s) == [30, 30, 30, 10]
+
+    def test_kwarg_overrides_params(self):
+        s = create("css", SchedulingParams(n=100, p=4, chunk_size=30), k=50)
+        assert s.k == 50
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            create("css", SchedulingParams(n=100, p=4), k=0)
+
+    def test_last_chunk_clipped(self):
+        s = create("css", SchedulingParams(n=25, p=4), k=10)
+        assert chunk_sizes(s) == [10, 10, 5]

@@ -1,0 +1,100 @@
+"""Tests for WF (weighted factoring) and TAP (taper)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.base import chunk_sizes
+from repro.core.params import SchedulingParams
+from repro.core.registry import create
+from repro.core.techniques.taper import taper_chunk
+
+
+class TestWeightedFactoring:
+    def test_homogeneous_weights_behave_like_factoring(self):
+        params = SchedulingParams(n=1000, p=4, mu=1.0, sigma=1.0)
+        s = create("wf", params)
+        sizes = chunk_sizes(s)
+        assert sum(sizes) == 1000
+        # First-batch chunks equal under equal weights, up to the final
+        # chunk absorbing the ceil() rounding of the batch total.
+        assert max(sizes[:4]) - min(sizes[:4]) <= 1
+
+    def test_weighted_shares_proportional(self):
+        params = SchedulingParams(
+            n=1000, p=2, mu=1.0, sigma=0.5, weights=(1.0, 3.0)
+        )
+        s = create("wf", params)
+        a = s.next_chunk(0)
+        b = s.next_chunk(1)
+        # Worker 1 is three times faster, so it gets ~3x the tasks.
+        assert b > 2 * a
+
+    def test_conservation_with_weights(self):
+        params = SchedulingParams(
+            n=777, p=3, mu=1.0, sigma=1.0, weights=(1.0, 2.0, 4.0)
+        )
+        assert sum(chunk_sizes(create("wf", params))) == 777
+
+    def test_fast_worker_requesting_twice_in_batch_gets_fallback(self):
+        params = SchedulingParams(
+            n=1000, p=2, mu=1.0, sigma=0.5, weights=(1.0, 1.0)
+        )
+        s = create("wf", params)
+        first = s.next_chunk(0)
+        second = s.next_chunk(0)  # same worker again, same batch
+        assert second >= 1
+        assert first + second <= 1000
+
+    def test_requires_mu_sigma(self):
+        with pytest.raises(ValueError, match="requires parameters"):
+            create("wf", SchedulingParams(n=10, p=2))
+
+
+class TestTaperChunk:
+    def test_zero_variance_equals_guided(self):
+        assert taper_chunk(1000, 4, 1.0, 0.0, 1.3) == 250
+
+    def test_margin_reduces_chunk(self):
+        with_margin = taper_chunk(1000, 4, 1.0, 1.0, 1.3)
+        without = taper_chunk(1000, 4, 1.0, 0.0, 1.3)
+        assert with_margin < without
+
+    def test_formula(self):
+        r, p, mu, sigma, alpha = 1000, 4, 1.0, 1.0, 1.3
+        v = alpha * sigma / mu
+        x = r / p
+        expected = x + v * v / 2 - v * math.sqrt(2 * x + v * v / 4)
+        assert taper_chunk(r, p, mu, sigma, alpha) == max(
+            1, math.ceil(expected)
+        )
+
+    def test_floors_at_one(self):
+        assert taper_chunk(1, 64, 1.0, 10.0, 2.0) == 1
+
+    def test_zero_remaining(self):
+        assert taper_chunk(0, 4, 1.0, 1.0, 1.3) == 0
+
+
+class TestTaperScheduler:
+    def test_conservation(self):
+        params = SchedulingParams(n=1000, p=4, mu=1.0, sigma=1.0)
+        assert sum(chunk_sizes(create("tap", params))) == 1000
+
+    def test_decreasing_sizes(self):
+        params = SchedulingParams(n=5000, p=4, mu=1.0, sigma=1.0)
+        sizes = chunk_sizes(create("tap", params))
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_alpha_override(self):
+        params = SchedulingParams(n=1000, p=4, mu=1.0, sigma=1.0)
+        bold = create("tap", params, alpha=0.5)
+        cautious = create("tap", params, alpha=3.0)
+        assert bold.next_chunk(0) > cautious.next_chunk(0)
+
+    def test_invalid_alpha(self):
+        params = SchedulingParams(n=10, p=2, mu=1.0, sigma=1.0)
+        with pytest.raises(ValueError, match="alpha"):
+            create("tap", params, alpha=-1.0)
