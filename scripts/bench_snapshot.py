@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Snapshot the batch-kernel benchmarks into a committed JSON file.
+
+Times the PR's headline cells (batch kernel vs scalar direct simulator,
+one core) and writes ``{bench_name: seconds}`` to BENCH_PR1.json at the
+repository root, so future PRs can diff wall-clock numbers without
+re-running the scalar baseline.
+
+Usage:  PYTHONPATH=src python scripts/bench_snapshot.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.registry import get_technique
+from repro.directsim import BatchDirectSimulator, DirectSimulator
+from repro.experiments.bold_experiments import scheduling_params
+from repro.workloads import ExponentialWorkload
+
+BATCH_RUNS = 100
+#: (bench key, technique, scalar replications to time)
+CELLS = (("ss", "ss", 2), ("fac", "fac", 3))
+
+
+def snapshot() -> dict[str, float]:
+    out: dict[str, float] = {}
+    params = scheduling_params(65536, 64)
+    workload = ExponentialWorkload(1.0)
+    for key, technique, scalar_runs in CELLS:
+        factory = get_technique(technique)
+
+        scalar = DirectSimulator(params, workload)
+        t0 = time.perf_counter()
+        for i in range(scalar_runs):
+            scalar.run(factory, seed=i)
+        scalar_per_rep = (time.perf_counter() - t0) / scalar_runs
+
+        batch = BatchDirectSimulator(params, workload)
+        t0 = time.perf_counter()
+        results = batch.run_batch(factory, BATCH_RUNS, 0)
+        batch_time = time.perf_counter() - t0
+        assert len(results) == BATCH_RUNS
+
+        out[f"batch_{key}_n65536_p64_100reps_s"] = round(batch_time, 4)
+        out[f"scalar_{key}_n65536_p64_per_rep_s"] = round(scalar_per_rep, 4)
+        out[f"speedup_{key}_per_100reps"] = round(
+            scalar_per_rep * BATCH_RUNS / batch_time, 1
+        )
+    return out
+
+
+def main() -> None:
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+    )
+    data = snapshot()
+    data["_meta_python"] = platform.python_version()
+    data["_meta_machine"] = platform.machine()
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {target}")
+    for name, seconds in data.items():
+        print(f"  {name}: {seconds}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,21 +5,40 @@ Thin wrapper around :func:`repro.experiments.campaign.run_full_campaign`
 (see that module for the run-count defaults).  The output of this script
 is the source of the numbers in EXPERIMENTS.md.
 
-Usage:  python scripts/run_campaign.py [output-file]
+Usage:  python scripts/run_campaign.py [output-file] [--workers N]
+                                       [--simulator {msg,direct,direct-batch}]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 from pathlib import Path
 
 from repro.experiments.campaign import run_full_campaign
 
-if __name__ == "__main__":
-    if len(sys.argv) > 1:
-        out_path = Path(sys.argv[1])
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output", nargs="?", default=None,
+                        help="write the report to this file (default: stdout)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="replication process-pool size (default: "
+                             "REPRO_WORKERS env var or CPU count)")
+    parser.add_argument("--simulator",
+                        choices=("msg", "direct", "direct-batch"),
+                        default="msg",
+                        help="simulator backend for the BOLD experiments")
+    args = parser.parse_args()
+
+    kwargs = dict(simulator=args.simulator, workers=args.workers)
+    if args.output:
+        out_path = Path(args.output)
         with out_path.open("w") as fh:
-            run_full_campaign(out=fh)
+            run_full_campaign(out=fh, **kwargs)
         print(f"wrote {out_path}")
     else:
-        run_full_campaign()
+        run_full_campaign(**kwargs)
+
+
+if __name__ == "__main__":
+    main()

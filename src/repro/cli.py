@@ -38,9 +38,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="experiment id, e.g. fig5 or table2")
     run.add_argument("--runs", type=int, default=None,
                      help="replications (default: experiment-specific)")
-    run.add_argument("--simulator", choices=("msg", "direct"), default=None,
-                     help="simulator backend for the BOLD experiments")
+    run.add_argument("--simulator",
+                     choices=("msg", "direct", "direct-batch"), default=None,
+                     help="simulator backend for the BOLD experiments "
+                          "(direct-batch = vectorized replication kernel)")
     run.add_argument("--seed", type=int, default=None, help="campaign seed")
+    run.add_argument("--workers", type=int, default=None,
+                     help="replication process-pool size (default: "
+                          "REPRO_WORKERS env var or CPU count)")
 
     sub.add_parser("techniques", help="list DLS techniques and requirements")
 
@@ -94,6 +99,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="drastically reduced run counts (smoke-test scale)",
     )
+    campaign.add_argument(
+        "--simulator", choices=("msg", "direct", "direct-batch"),
+        default="msg",
+        help="simulator backend for the BOLD experiments",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=None,
+        help="replication process-pool size (default: REPRO_WORKERS env "
+             "var or CPU count)",
+    )
 
     files = sub.add_parser(
         "simulate-files",
@@ -146,11 +161,11 @@ _RUN_KNOBS: dict[str, frozenset[str]] = {
     "table3": frozenset(),
     "fig3": frozenset({"seed"}),
     "fig4": frozenset({"seed"}),
-    "fig5": frozenset({"runs", "simulator", "seed"}),
-    "fig6": frozenset({"runs", "simulator", "seed"}),
-    "fig7": frozenset({"runs", "simulator", "seed"}),
-    "fig8": frozenset({"runs", "simulator", "seed"}),
-    "fig9": frozenset({"runs", "simulator", "seed"}),
+    "fig5": frozenset({"runs", "simulator", "seed", "processes"}),
+    "fig6": frozenset({"runs", "simulator", "seed", "processes"}),
+    "fig7": frozenset({"runs", "simulator", "seed", "processes"}),
+    "fig8": frozenset({"runs", "simulator", "seed", "processes"}),
+    "fig9": frozenset({"runs", "simulator", "seed", "processes"}),
     "scalability": frozenset({"runs", "seed"}),
     "css-sweep": frozenset({"seed"}),
     "tss-shapes": frozenset({"seed"}),
@@ -168,6 +183,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         kwargs["simulator"] = args.simulator
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if args.workers is not None:
+        kwargs["processes"] = args.workers
     exp = get_experiment(args.experiment)
     allowed = _RUN_KNOBS.get(args.experiment, frozenset())
     kwargs = {k: v for k, v in kwargs.items() if k in allowed}
@@ -267,6 +284,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         kwargs["campaign_runs"] = {1024: 5, 8192: 3}
         kwargs["fig9_runs"] = 50
         kwargs["include_tss"] = False
+    kwargs["simulator"] = args.simulator
+    kwargs["workers"] = args.workers
     if args.out:
         with open(args.out, "w") as fh:
             run_full_campaign(out=fh, **kwargs)

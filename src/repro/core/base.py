@@ -18,6 +18,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import ClassVar
 
+import numpy as np
+
 from .params import SchedulingParams
 
 #: Parameter symbols of Table I, used by :attr:`Scheduler.requires`.
@@ -68,12 +70,20 @@ class Scheduler(ABC):
     adaptive:
         True for techniques that change behaviour based on measured
         execution times (AWF family, AF).
+    deterministic_schedule:
+        True when the technique's ``(start, size)`` chunk sequence is a
+        pure function of ``(n, p, params)`` — independent of which worker
+        requests, of request timing, and of measured execution times.
+        Such techniques support :meth:`chunk_schedule` and therefore the
+        vectorized batch-replication kernel
+        (:mod:`repro.directsim.batch`).
     """
 
     name: ClassVar[str] = ""
     label: ClassVar[str] = ""
     requires: ClassVar[frozenset[str]] = frozenset()
     adaptive: ClassVar[bool] = False
+    deterministic_schedule: ClassVar[bool] = False
 
     def __init__(self, params: SchedulingParams):
         self.params = params
@@ -202,6 +212,60 @@ class Scheduler(ABC):
     def num_scheduling_operations(self) -> int:
         """Number of chunks assigned so far (the paper's overhead count)."""
         return self.state.scheduled_chunks
+
+    # -- schedule precomputation ----------------------------------------
+    def chunk_schedule(self) -> np.ndarray | None:
+        """The full chunk-size sequence this scheduler will produce.
+
+        Returns an int64 array of chunk sizes (summing to ``n``), or
+        ``None`` when the sequence depends on run-time feedback (worker
+        identity, request timing, or measured execution times) and
+        therefore cannot be precomputed.
+
+        Must be called on a *fresh* scheduler.  The generic
+        implementation drains ``self`` through the real
+        :meth:`next_chunk` machinery, so the instance is consumed; most
+        techniques override it with a closed form that leaves the
+        instance untouched.  Used by the batch-replication kernel
+        (:mod:`repro.directsim.batch`) to compute the schedule once per
+        cell and reuse it across all replications.
+        """
+        if not self.deterministic_schedule:
+            return None
+        if self.state.scheduled_chunks:
+            raise ValueError("chunk_schedule requires a fresh scheduler")
+        return self._chunk_schedule()
+
+    def _chunk_schedule(self) -> np.ndarray:
+        """Closed-form hook behind :meth:`chunk_schedule`.
+
+        The generic fallback drains ``self`` through the real
+        :meth:`next_chunk` machinery (consuming the instance); most
+        techniques override it with a closed form that leaves the
+        instance untouched.
+        """
+        mu = self.params.mu or 1.0
+        sizes: list[int] = []
+        while not self.done:
+            size = self.next_chunk(0)
+            if size == 0:
+                break
+            sizes.append(size)
+            self.record_finished(0, size, elapsed=size * mu)
+        return np.asarray(sizes, dtype=np.int64)
+
+    @staticmethod
+    def _constant_schedule(n: int, k: int) -> np.ndarray:
+        """Closed form for constant-chunk techniques: ``k``-sized chunks
+        until fewer than ``k`` tasks remain, then the remainder."""
+        if n <= 0:
+            return np.zeros(0, dtype=np.int64)
+        k = max(1, min(int(k), n))
+        full, rem = divmod(n, k)
+        sizes = np.full(full + (1 if rem else 0), k, dtype=np.int64)
+        if rem:
+            sizes[-1] = rem
+        return sizes
 
     # -- hooks for subclasses -------------------------------------------
     @abstractmethod

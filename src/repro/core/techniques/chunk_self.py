@@ -9,6 +9,8 @@ CSS behave like STAT with round-robin ordering).
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..base import Scheduler
 from ..registry import register
 
@@ -20,6 +22,7 @@ class ChunkSelfScheduling(Scheduler):
     name = "css"
     label = "CSS"
     requires = frozenset({"p", "n"})
+    deterministic_schedule = True
 
     def __init__(self, params, k: int | None = None):
         super().__init__(params)
@@ -33,3 +36,6 @@ class ChunkSelfScheduling(Scheduler):
 
     def _chunk_size(self, worker: int) -> int:
         return self.k
+
+    def _chunk_schedule(self) -> np.ndarray:
+        return self._constant_schedule(self.params.n, self.k)

@@ -38,6 +38,7 @@ class TrapezoidFactoring(Scheduler):
     name = "tfss"
     label = "TFSS"
     requires = frozenset({"p", "n", "f", "l"})
+    deterministic_schedule = True
 
     def __init__(self, params, first_chunk: int | None = None,
                  last_chunk: int | None = None):
@@ -86,6 +87,7 @@ class FixedIncrease(Scheduler):
     name = "fiss"
     label = "FISS"
     requires = frozenset({"p", "n"})
+    deterministic_schedule = True
 
     #: number of batches the schedule is spread over (Philip & Das use a
     #: small constant; 4 is LB4OMP's default)
@@ -136,6 +138,7 @@ class VariableIncrease(Scheduler):
     name = "viss"
     label = "VISS"
     requires = frozenset({"p", "n"})
+    deterministic_schedule = True
 
     def __init__(self, params):
         super().__init__(params)

@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..base import Scheduler
 from ..registry import register
 
@@ -58,6 +60,8 @@ class _BatchedScheduler(Scheduler):
     exhausted.  Subclasses provide :meth:`_batch_chunk` computing the
     per-PE chunk size for a fresh batch.
     """
+
+    deterministic_schedule = True
 
     def __init__(self, params):
         super().__init__(params)
@@ -86,6 +90,29 @@ class _BatchedScheduler(Scheduler):
 
     def _batch_chunk(self, remaining: int) -> int:
         raise NotImplementedError
+
+    def _chunk_schedule(self) -> np.ndarray:
+        # Closed form: per batch, p equal chunks (the last clipped to the
+        # batch's allocation).  _batch_chunk may consult _batch_index
+        # (FAC's first-batch x), so drive it the way _start_batch would.
+        p = self.params.p
+        remaining = self.params.n
+        saved = self._batch_index
+        sizes: list[int] = []
+        try:
+            self._batch_index = 0
+            while remaining > 0:
+                chunk = max(1, self._batch_chunk(remaining))
+                batch_left = min(chunk * p, remaining)
+                self._batch_index += 1
+                full, rem = divmod(batch_left, chunk)
+                sizes.extend([chunk] * full)
+                if rem:
+                    sizes.append(rem)
+                remaining -= batch_left
+        finally:
+            self._batch_index = saved
+        return np.asarray(sizes, dtype=np.int64)
 
 
 @register

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..base import Scheduler
 from ..registry import register
 
@@ -50,6 +52,7 @@ class FixedSizeChunking(Scheduler):
     name = "fsc"
     label = "FSC"
     requires = frozenset({"p", "n", "h", "sigma"})
+    deterministic_schedule = True
 
     def __init__(self, params):
         super().__init__(params)
@@ -58,3 +61,6 @@ class FixedSizeChunking(Scheduler):
 
     def _chunk_size(self, worker: int) -> int:
         return self.k
+
+    def _chunk_schedule(self) -> np.ndarray:
+        return self._constant_schedule(self.params.n, self.k)

@@ -9,6 +9,8 @@ technique requires ``p`` and ``r``.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..base import Scheduler
 from ..registry import register
 
@@ -20,6 +22,7 @@ class GuidedSelfScheduling(Scheduler):
     name = "gss"
     label = "GSS"
     requires = frozenset({"p", "r"})
+    deterministic_schedule = True
 
     def __init__(self, params, min_chunk: int | None = None):
         super().__init__(params)
@@ -36,3 +39,13 @@ class GuidedSelfScheduling(Scheduler):
     def _chunk_size(self, worker: int) -> int:
         guided = self._ceil_div(self.state.remaining, self.params.p)
         return max(self.min_chunk_size, guided)
+
+    def _chunk_schedule(self) -> np.ndarray:
+        remaining, p = self.params.n, self.params.p
+        sizes: list[int] = []
+        while remaining > 0:
+            size = max(self.min_chunk_size, self._ceil_div(remaining, p))
+            size = min(size, remaining)
+            sizes.append(size)
+            remaining -= size
+        return np.asarray(sizes, dtype=np.int64)

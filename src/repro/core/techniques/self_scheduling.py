@@ -8,6 +8,8 @@ requires none of the Table I parameters.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..base import Scheduler
 from ..registry import register
 
@@ -19,6 +21,10 @@ class SelfScheduling(Scheduler):
     name = "ss"
     label = "SS"
     requires = frozenset()
+    deterministic_schedule = True
 
     def _chunk_size(self, worker: int) -> int:
         return 1
+
+    def _chunk_schedule(self) -> np.ndarray:
+        return np.ones(max(0, self.params.n), dtype=np.int64)

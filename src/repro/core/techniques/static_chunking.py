@@ -9,6 +9,8 @@ times vary.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..base import Scheduler
 from ..registry import register
 
@@ -20,6 +22,11 @@ class StaticChunking(Scheduler):
     name = "stat"
     label = "STAT"
     requires = frozenset({"p", "n"})
+    deterministic_schedule = True
 
     def _chunk_size(self, worker: int) -> int:
         return self._ceil_div(self.params.n, self.params.p)
+
+    def _chunk_schedule(self) -> np.ndarray:
+        n, p = self.params.n, self.params.p
+        return self._constant_schedule(n, self._ceil_div(n, p))

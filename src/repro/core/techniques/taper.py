@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..base import Scheduler
 from ..registry import register
 
@@ -44,6 +46,7 @@ class Taper(Scheduler):
     name = "tap"
     label = "TAP"
     requires = frozenset({"p", "r", "mu", "sigma"})
+    deterministic_schedule = True
 
     def __init__(self, params, alpha: float | None = None):
         super().__init__(params)
@@ -57,3 +60,15 @@ class Taper(Scheduler):
         return taper_chunk(
             self.state.remaining, self.params.p, mu, sigma, self.alpha
         )
+
+    def _chunk_schedule(self) -> np.ndarray:
+        mu = self.params.mu if self.params.mu is not None else 1.0
+        sigma = self.params.sigma if self.params.sigma is not None else 0.0
+        remaining, p = self.params.n, self.params.p
+        sizes: list[int] = []
+        while remaining > 0:
+            size = taper_chunk(remaining, p, mu, sigma, self.alpha)
+            size = max(1, min(size, remaining))
+            sizes.append(size)
+            remaining -= size
+        return np.asarray(sizes, dtype=np.int64)

@@ -15,6 +15,8 @@ and ``l``.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..base import Scheduler
 from ..registry import register
 
@@ -26,6 +28,7 @@ class TrapezoidSelfScheduling(Scheduler):
     name = "tss"
     label = "TSS"
     requires = frozenset({"p", "n", "f", "l"})
+    deterministic_schedule = True
 
     def __init__(
         self,
@@ -65,3 +68,20 @@ class TrapezoidSelfScheduling(Scheduler):
         self._current -= self.delta
         if self._current < self.last:
             self._current = float(self.last)
+
+    def _chunk_schedule(self) -> np.ndarray:
+        # Replays _chunk_size/_after_assignment arithmetic exactly
+        # (including the round() and the floor at ``l``) without
+        # touching the instance's state.
+        remaining = self.params.n
+        current = float(self.first)
+        sizes: list[int] = []
+        while remaining > 0:
+            size = max(1, max(self.last, int(round(current))))
+            size = min(size, remaining)
+            sizes.append(size)
+            remaining -= size
+            current -= self.delta
+            if current < self.last:
+                current = float(self.last)
+        return np.asarray(sizes, dtype=np.int64)

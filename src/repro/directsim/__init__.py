@@ -1,6 +1,12 @@
 """Replica of Hagerup's (1997) chunk-level direct simulator."""
 
 from .accounting import OverheadModel, average_wasted_time
+from .batch import (
+    BatchDirectSimulator,
+    BatchScheduleUnavailableError,
+    batch_replicate,
+    batch_supported,
+)
 from .faults import (
     AllWorkersFailedError,
     FailStop,
@@ -12,6 +18,8 @@ from .simulator import ChunkExecution, DirectSimulator, RunResult, replicate
 
 __all__ = [
     "AllWorkersFailedError",
+    "BatchDirectSimulator",
+    "BatchScheduleUnavailableError",
     "ChunkExecution",
     "DirectSimulator",
     "FailStop",
@@ -21,5 +29,7 @@ __all__ = [
     "RunResult",
     "StepFluctuation",
     "average_wasted_time",
+    "batch_replicate",
+    "batch_supported",
     "replicate",
 ]

@@ -23,11 +23,17 @@ def run_full_campaign(
     campaign_runs: Mapping[int, int] | None = None,
     fig9_runs: int = DEFAULT_FIG9_RUNS,
     include_tss: bool = True,
+    simulator: str = "msg",
+    workers: int | None = None,
 ) -> float:
     """Run everything; returns the total wall time in seconds.
 
     ``out`` defaults to stdout.  ``campaign_runs`` maps BOLD task counts
     to replication counts (missing task counts are skipped).
+    ``simulator`` selects the backend for the BOLD experiments
+    (``"direct-batch"`` takes the vectorized kernel where possible).
+    ``workers`` sizes the replication process pool; it defaults to the
+    ``REPRO_WORKERS`` environment variable or the CPU count.
     """
     import sys
 
@@ -67,13 +73,14 @@ def run_full_campaign(
         runs = campaign_runs[n]
         banner(f"{fig} — BOLD experiment, {n:,} tasks ({runs} runs)")
         t = time.time()
-        emit(EXPERIMENTS[fig].run(runs=runs, simulator="msg"))
+        emit(EXPERIMENTS[fig].run(runs=runs, simulator=simulator,
+                                  processes=workers))
         emit(f"[{fig} took {time.time() - t:.1f}s]")
 
     if fig9_runs > 0:
         banner(f"fig9 — FAC outlier study ({fig9_runs} runs)")
         t = time.time()
-        emit(EXPERIMENTS["fig9"].run(runs=fig9_runs))
+        emit(EXPERIMENTS["fig9"].run(runs=fig9_runs, processes=workers))
         emit(f"[fig9 took {time.time() - t:.1f}s]")
 
     total = time.time() - t0

@@ -7,10 +7,25 @@ so campaigns can be distributed over processes with
 original measurement campaign ("the individual measurements were
 performed in parallel", Section V).  On a single-core machine the runner
 degrades to a sequential loop.
+
+Two throughput layers compose here:
+
+* **Process-level parallelism** — tasks fan out over a persistent worker
+  pool (created once, reused across calls) via ``imap_unordered`` with a
+  tuned chunksize.  The pool size defaults to ``os.cpu_count()`` and can
+  be overridden with the ``REPRO_WORKERS`` environment variable or the
+  ``processes`` argument (CLI: ``repro-dls campaign --workers``).
+* **Batch-level vectorisation** — tasks with ``simulator="direct-batch"``
+  route whole replication blocks through the vectorized kernel
+  (:mod:`repro.directsim.batch`) instead of one Python event loop per
+  replication, falling back to the scalar direct simulator for adaptive
+  techniques and worker-dependent schedules.
 """
 
 from __future__ import annotations
 
+import atexit
+import hashlib
 import multiprocessing
 import os
 from dataclasses import dataclass, field
@@ -27,12 +42,26 @@ from ..simgrid.masterworker import MasterWorkerConfig, MasterWorkerSimulation
 from ..simgrid.platform import Platform
 from ..workloads.distributions import Workload
 
-SimulatorKind = Literal["msg", "direct"]
+SimulatorKind = Literal["msg", "direct", "direct-batch"]
+
+#: replications per batched pool block.  Fixed (instead of derived from
+#: the worker count) so campaign results are deterministic in
+#: (task, runs, campaign_seed) regardless of how many processes execute.
+BATCH_BLOCK_RUNS = 64
 
 
 @dataclass(frozen=True)
 class RunTask:
-    """One independent simulation run, fully described by data."""
+    """One independent simulation run, fully described by data.
+
+    Seeding: ``seed_entropy`` holds the entropy of the run's
+    ``numpy.random.SeedSequence``.  When it is left empty the seed is
+    *derived deterministically from the task's own fields* (technique,
+    params, workload, simulator, ...), so executing the same task twice
+    always reproduces the same result — there is no silent fallback to
+    OS entropy.  Distinct replications of one cell must therefore carry
+    distinct explicit entropy (see :func:`expand_replications`).
+    """
 
     technique: str
     params: SchedulingParams
@@ -45,17 +74,56 @@ class RunTask:
     technique_kwargs: dict = field(default_factory=dict)
     seed_entropy: tuple[int, ...] = ()
 
+    def derived_entropy(self) -> tuple[int, ...]:
+        """Deterministic seed entropy from the task's own fields.
+
+        Used when ``seed_entropy`` is empty; stable across processes and
+        interpreter restarts (content hash, not ``hash()``).
+        """
+        key = "|".join(
+            (
+                self.technique,
+                repr(self.params),
+                repr(self.workload),
+                self.simulator,
+                self.overhead_model.value,
+                repr(self.speeds),
+                repr(self.start_times),
+                repr(sorted(self.technique_kwargs.items())),
+            )
+        )
+        digest = hashlib.sha256(key.encode()).digest()
+        return tuple(
+            int.from_bytes(digest[i:i + 4], "big") for i in range(0, 16, 4)
+        )
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """The run's seed (explicit entropy, else derived from fields)."""
+        entropy = self.seed_entropy or self.derived_entropy()
+        return np.random.SeedSequence(entropy=list(entropy))
+
     def execute(self) -> RunResult:
         """Run this task and return its result."""
         factory = lambda params: get_technique(self.technique)(
             params, **self.technique_kwargs
         )
-        seed = (
-            np.random.SeedSequence(entropy=list(self.seed_entropy))
-            if self.seed_entropy
-            else None
-        )
-        if self.simulator == "direct":
+        seed = self.seed_sequence()
+        if self.simulator == "direct-batch":
+            from ..directsim.batch import BatchDirectSimulator, batch_supported
+
+            if batch_supported(self.technique):
+                sim = BatchDirectSimulator(
+                    self.params,
+                    self.workload,
+                    overhead_model=self.overhead_model,
+                    speeds=list(self.speeds) if self.speeds else None,
+                    start_times=(
+                        list(self.start_times) if self.start_times else None
+                    ),
+                )
+                return sim.run_batch(factory, 1, seed)[0]
+            # Adaptive / worker-dependent technique: scalar fallback.
+        if self.simulator in ("direct", "direct-batch"):
             sim = DirectSimulator(
                 self.params,
                 self.workload,
@@ -74,8 +142,101 @@ class RunTask:
         return sim.run(factory, seed)
 
 
+@dataclass(frozen=True)
+class BatchRunBlock:
+    """A block of replications of one cell, executed by the batch kernel.
+
+    Picklable, so blocks distribute over the process pool just like
+    individual :class:`RunTask` objects — but each block amortises the
+    schedule precomputation and samples its chunk times in bulk.
+    """
+
+    task: RunTask
+    runs: int
+    seed_entropy: tuple[int, ...]
+
+    def execute(self) -> list[RunResult]:
+        from ..directsim.batch import BatchDirectSimulator
+
+        task = self.task
+        factory = lambda params: get_technique(task.technique)(
+            params, **task.technique_kwargs
+        )
+        sim = BatchDirectSimulator(
+            task.params,
+            task.workload,
+            overhead_model=task.overhead_model,
+            speeds=list(task.speeds) if task.speeds else None,
+            start_times=list(task.start_times) if task.start_times else None,
+        )
+        seed = np.random.SeedSequence(entropy=list(self.seed_entropy))
+        return sim.run_batch(factory, self.runs, seed)
+
+
 def _execute_task(task: RunTask) -> RunResult:
     return task.execute()
+
+
+def _execute_indexed(item: tuple[int, RunTask | BatchRunBlock]):
+    index, task = item
+    return index, task.execute()
+
+
+def resolve_workers(processes: int | None = None) -> int:
+    """The worker-pool size: argument > ``REPRO_WORKERS`` > CPU count."""
+    if processes is not None:
+        return max(1, int(processes))
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+# -- persistent worker pool ----------------------------------------------
+_POOL: multiprocessing.pool.Pool | None = None
+_POOL_SIZE: int = 0
+
+
+def _get_pool(processes: int) -> multiprocessing.pool.Pool:
+    """The shared pool, (re)created only when the size changes."""
+    global _POOL, _POOL_SIZE
+    if _POOL is not None and _POOL_SIZE != processes:
+        shutdown_pool()
+    if _POOL is None:
+        _POOL = multiprocessing.Pool(processes=processes)
+        _POOL_SIZE = processes
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Terminate the persistent pool (tests; end of process via atexit)."""
+    global _POOL, _POOL_SIZE
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+        _POOL = None
+        _POOL_SIZE = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _run_pooled(items: Sequence[RunTask | BatchRunBlock],
+                processes: int) -> list:
+    """Execute items (in order) over the persistent pool."""
+    pool = _get_pool(processes)
+    chunksize = max(1, len(items) // (processes * 4))
+    out: list = [None] * len(items)
+    for index, result in pool.imap_unordered(
+        _execute_indexed, list(enumerate(items)), chunksize=chunksize
+    ):
+        out[index] = result
+    return out
 
 
 def expand_replications(task: RunTask, runs: int,
@@ -104,20 +265,58 @@ def run_campaign(tasks: Sequence[RunTask],
                  processes: int | None = None) -> list[RunResult]:
     """Execute tasks, parallelising over processes when it helps.
 
-    ``processes`` defaults to the CPU count; with one process (or one
-    task) the loop stays in-process, avoiding pickling overhead.
+    ``processes`` defaults to ``REPRO_WORKERS`` or the CPU count; with
+    one process (or one task) the loop stays in-process, avoiding
+    pickling overhead.  Results are returned in task order.
     """
-    if processes is None:
-        processes = os.cpu_count() or 1
+    processes = resolve_workers(processes)
     if processes <= 1 or len(tasks) <= 1:
         return [task.execute() for task in tasks]
-    with multiprocessing.Pool(processes=processes) as pool:
-        return pool.map(_execute_task, tasks, chunksize=1)
+    return _run_pooled(tasks, processes)
+
+
+def _batch_blocks(task: RunTask, runs: int,
+                  campaign_seed: int | None) -> list[BatchRunBlock] | None:
+    """Split ``runs`` replications into batch-kernel blocks, or None when
+    the task cannot take the batched path."""
+    from ..directsim.batch import batch_supported
+
+    if task.simulator != "direct-batch":
+        return None
+    if not batch_supported(task.technique):
+        return None
+    counts = [BATCH_BLOCK_RUNS] * (runs // BATCH_BLOCK_RUNS)
+    if runs % BATCH_BLOCK_RUNS:
+        counts.append(runs % BATCH_BLOCK_RUNS)
+    seeds = np.random.SeedSequence(campaign_seed).spawn(len(counts))
+    blocks = []
+    for count, seq in zip(counts, seeds):
+        entropy = tuple(int(v) for v in np.atleast_1d(seq.entropy)) + tuple(
+            seq.spawn_key
+        )
+        blocks.append(BatchRunBlock(task=task, runs=count,
+                                    seed_entropy=entropy))
+    return blocks
 
 
 def run_replicated(task: RunTask, runs: int, campaign_seed: int | None = None,
                    processes: int | None = None) -> list[RunResult]:
-    """Convenience: expand replications of one task and run them."""
+    """Convenience: expand replications of one task and run them.
+
+    For ``simulator="direct-batch"`` tasks whose technique supports the
+    vectorized kernel, replications execute in blocks of
+    :data:`BATCH_BLOCK_RUNS` (deterministic in the campaign seed,
+    independent of the worker count); everything else takes the per-run
+    scalar path.
+    """
+    blocks = _batch_blocks(task, runs, campaign_seed)
+    if blocks is not None:
+        processes = resolve_workers(processes)
+        if processes <= 1 or len(blocks) <= 1:
+            results = [block.execute() for block in blocks]
+        else:
+            results = _run_pooled(blocks, processes)
+        return [r for block_results in results for r in block_results]
     return run_campaign(
         expand_replications(task, runs, campaign_seed), processes=processes
     )

@@ -1,15 +1,23 @@
 """Task execution time distributions (Figure 2: "Task Execution Times").
 
 A :class:`Workload` produces the execution times of tasks ``start ..
-start+size-1``.  Two access paths exist:
+start+size-1``.  Three access paths exist:
 
 * :meth:`Workload.sample` — per-task times (faithful path);
-* :meth:`Workload.chunk_time` — the *sum* of a chunk's task times in one
-  draw.  The default sums a vectorised sample; distributions with an exact
+* :meth:`Workload.chunk_times_batch` — an ``(reps, C)`` matrix of chunk
+  sums for a whole replication batch in one vectorised draw.  This is the
+  *single* closed-form dispatch point: distributions with an exact
   closed-form sum override it (constant → ``k * value``; exponential →
-  ``Gamma(k, mean)``), which is statistically identical and faster.  The
-  equivalence is property-tested in ``tests/test_workloads.py`` and the
-  speed difference is measured by the ablation benchmarks.
+  ``Gamma(k, mean)``), which is statistically identical and faster.
+* :meth:`Workload.chunk_time` — the sum of one chunk's task times; it
+  delegates to :meth:`chunk_times_batch` with ``reps=1``, so the scalar
+  and batch paths share one implementation (no duplicated closed forms).
+  For the closed-form distributions the delegated draw consumes the RNG
+  stream identically to a scalar draw, so seeded results are unchanged.
+
+The scalar/batch equivalence is property-tested in
+``tests/test_batch_kernel.py`` and ``tests/test_distributions.py``, and
+the speed difference is measured by the ablation benchmarks.
 
 Stationary workloads ignore ``start``; the position-dependent ones
 (increasing, decreasing, trace) use it, which is why chunk boundaries are
@@ -22,6 +30,22 @@ import math
 from abc import ABC, abstractmethod
 
 import numpy as np
+
+
+def _validate_batch(
+    starts: np.ndarray, sizes: np.ndarray, reps: int
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Normalise and validate ``chunk_times_batch`` arguments."""
+    starts = np.asarray(starts, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if starts.ndim != 1 or sizes.ndim != 1 or starts.size != sizes.size:
+        raise ValueError(
+            f"starts and sizes must be equal-length 1-D arrays, got "
+            f"shapes {starts.shape} and {sizes.shape}"
+        )
+    if int(reps) < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    return starts, sizes, int(reps)
 
 
 class Workload(ABC):
@@ -45,10 +69,49 @@ class Workload(ABC):
         """Execution times of tasks ``start .. start+size-1``."""
 
     def chunk_time(self, start: int, size: int, rng: np.random.Generator) -> float:
-        """Total execution time of a chunk (sum of its task times)."""
+        """Total execution time of a chunk (sum of its task times).
+
+        Delegates to :meth:`chunk_times_batch` with a single replication
+        so both paths share one closed-form dispatch.
+        """
         if size <= 0:
             return 0.0
-        return float(self.sample(start, size, rng).sum())
+        starts = np.asarray([start], dtype=np.int64)
+        sizes = np.asarray([size], dtype=np.int64)
+        return float(self.chunk_times_batch(starts, sizes, 1, rng)[0, 0])
+
+    def chunk_times_batch(
+        self,
+        starts: np.ndarray,
+        sizes: np.ndarray,
+        reps: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Chunk sums for ``reps`` independent replications at once.
+
+        Returns an ``(reps, C)`` array whose column ``c`` holds ``reps``
+        independent draws of the total time of the chunk ``(starts[c],
+        sizes[c])``.  The default draws per-task times through
+        :meth:`sample` and sums them (the faithful path); distributions
+        with an exact closed-form sum override this method, and the
+        scalar :meth:`chunk_time` inherits the closed form through
+        delegation.
+        """
+        starts, sizes, reps = _validate_batch(starts, sizes, reps)
+        out = np.zeros((reps, sizes.size), dtype=np.float64)
+        for c, (st, sz) in enumerate(zip(starts, sizes)):
+            st, sz = int(st), int(sz)
+            if sz <= 0:
+                continue
+            if self.position_dependent:
+                for r in range(reps):
+                    out[r, c] = float(self.sample(st, sz, rng).sum())
+            else:
+                # Stationary: one draw of reps*size task times fills the
+                # column; element order matches reps successive draws.
+                flat = self.sample(st, sz * reps, rng)
+                out[:, c] = flat.reshape(reps, sz).sum(axis=1)
+        return out
 
     def serial_time(self, n: int) -> float:
         """Expected serial execution time of ``n`` tasks."""
@@ -80,8 +143,12 @@ class ConstantWorkload(Workload):
     def sample(self, start, size, rng) -> np.ndarray:
         return np.full(size, self.value)
 
-    def chunk_time(self, start, size, rng) -> float:
-        return size * self.value
+    def chunk_times_batch(self, starts, sizes, reps, rng) -> np.ndarray:
+        starts, sizes, reps = _validate_batch(starts, sizes, reps)
+        # Exact: a chunk of k tasks always takes k * value seconds.  The
+        # broadcast view is read-only but identical across replications.
+        row = np.maximum(sizes, 0).astype(np.float64) * self.value
+        return np.broadcast_to(row, (reps, sizes.size))
 
 
 class ExponentialWorkload(Workload):
@@ -103,11 +170,13 @@ class ExponentialWorkload(Workload):
     def sample(self, start, size, rng) -> np.ndarray:
         return rng.exponential(self._mean, size=size)
 
-    def chunk_time(self, start, size, rng) -> float:
-        # Sum of k iid Exp(mean) is Gamma(k, mean): one draw, exact.
-        if size <= 0:
-            return 0.0
-        return float(rng.gamma(shape=size, scale=self._mean))
+    def chunk_times_batch(self, starts, sizes, reps, rng) -> np.ndarray:
+        # Sum of k iid Exp(mean) is Gamma(k, mean): one draw per chunk,
+        # exact; the whole (reps, C) matrix is a single vectorised call.
+        starts, sizes, reps = _validate_batch(starts, sizes, reps)
+        shapes = np.maximum(sizes, 0).astype(np.float64)
+        return rng.gamma(shape=shapes, scale=self._mean,
+                         size=(reps, sizes.size))
 
 
 class UniformWorkload(Workload):
@@ -173,11 +242,11 @@ class GammaWorkload(Workload):
     def sample(self, start, size, rng) -> np.ndarray:
         return rng.gamma(self.shape, self.scale, size=size)
 
-    def chunk_time(self, start, size, rng) -> float:
+    def chunk_times_batch(self, starts, sizes, reps, rng) -> np.ndarray:
         # Sum of k iid Gamma(a, theta) is Gamma(k a, theta): exact.
-        if size <= 0:
-            return 0.0
-        return float(rng.gamma(self.shape * size, self.scale))
+        starts, sizes, reps = _validate_batch(starts, sizes, reps)
+        shapes = self.shape * np.maximum(sizes, 0).astype(np.float64)
+        return rng.gamma(shapes, self.scale, size=(reps, sizes.size))
 
 
 class BimodalWorkload(Workload):
@@ -244,10 +313,13 @@ class LinearWorkload(Workload):
     def sample(self, start, size, rng) -> np.ndarray:
         return self._times(start, size)
 
-    def chunk_time(self, start, size, rng) -> float:
-        if size <= 0:
-            return 0.0
-        return float(self._times(start, size).sum())
+    def chunk_times_batch(self, starts, sizes, reps, rng) -> np.ndarray:
+        starts, sizes, reps = _validate_batch(starts, sizes, reps)
+        row = np.array([
+            self._times(int(st), int(sz)).sum() if sz > 0 else 0.0
+            for st, sz in zip(starts, sizes)
+        ])
+        return np.broadcast_to(row, (reps, sizes.size))
 
 
 def decreasing_workload(n: int, first: float, last: float) -> LinearWorkload:
@@ -267,10 +339,12 @@ def increasing_workload(n: int, first: float, last: float) -> LinearWorkload:
 class PerTaskSampling(Workload):
     """Force per-task sampling of a wrapped workload.
 
-    Disables the wrapped distribution's closed-form ``chunk_time``
-    (e.g. the exponential's Gamma draw) so every task time is drawn
-    individually and summed — the faithful path of the chunk-time
-    sampling ablation (DESIGN.md §6).
+    Disables the wrapped distribution's closed-form chunk sums (e.g. the
+    exponential's Gamma draw) so every task time is drawn individually
+    and summed — the faithful path of the chunk-time sampling ablation
+    (DESIGN.md §6).  This wrapper inherits the base class's per-task
+    ``chunk_times_batch``/``chunk_time``, which route through
+    :meth:`sample`, so the inner closed forms are never consulted.
     """
 
     def __init__(self, inner: Workload):
@@ -287,11 +361,6 @@ class PerTaskSampling(Workload):
 
     def sample(self, start, size, rng) -> np.ndarray:
         return self.inner.sample(start, size, rng)
-
-    def chunk_time(self, start, size, rng) -> float:
-        if size <= 0:
-            return 0.0
-        return float(self.inner.sample(start, size, rng).sum())
 
 
 class TraceWorkload(Workload):
@@ -323,7 +392,15 @@ class TraceWorkload(Workload):
             )
         return self.times[start:start + size]
 
-    def chunk_time(self, start, size, rng) -> float:
-        if size <= 0:
-            return 0.0
-        return float(self.sample(start, size, rng).sum())
+    def chunk_times_batch(self, starts, sizes, reps, rng) -> np.ndarray:
+        starts, sizes, reps = _validate_batch(starts, sizes, reps)
+        if sizes.size and (
+            starts.min(initial=0) < 0
+            or (starts + sizes).max(initial=0) > self.times.size
+        ):
+            raise IndexError(
+                f"chunks outside trace of {self.times.size} tasks"
+            )
+        csum = np.concatenate(([0.0], np.cumsum(self.times)))
+        row = csum[starts + np.maximum(sizes, 0)] - csum[starts]
+        return np.broadcast_to(row, (reps, sizes.size))

@@ -1,0 +1,257 @@
+"""Cross-validation of the vectorized batch kernel against the scalar
+direct simulator (the reference oracle), plus the runner integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import chunk_sizes
+from repro.core.params import SchedulingParams
+from repro.core.registry import get_technique
+from repro.directsim import (
+    BatchDirectSimulator,
+    BatchScheduleUnavailableError,
+    DirectSimulator,
+    OverheadModel,
+    batch_supported,
+)
+from repro.experiments.bold_experiments import scheduling_params
+from repro.experiments.runner import RunTask, run_replicated
+from repro.workloads import ConstantWorkload, ExponentialWorkload
+from repro.workloads.distributions import GammaWorkload
+from repro.workloads.generator import make_rng
+
+#: every technique on the fast path
+BATCHABLE = (
+    "stat", "ss", "css", "fsc", "gss", "tss", "fac", "fac2", "tap",
+    "tfss", "fiss", "viss",
+)
+#: techniques that must fall back (worker-dependent or adaptive)
+NOT_BATCHABLE = ("wf", "pls", "rnd", "bold", "awf", "af")
+
+
+def params(n=257, p=3, h=0.25):
+    return SchedulingParams(n=n, p=p, h=h, mu=1.0, sigma=1.0)
+
+
+class TestBatchSupported:
+    @pytest.mark.parametrize("name", BATCHABLE)
+    def test_fast_path_techniques(self, name):
+        assert batch_supported(name)
+
+    @pytest.mark.parametrize("name", NOT_BATCHABLE)
+    def test_fallback_techniques(self, name):
+        assert not batch_supported(name)
+
+
+class TestChunkSchedule:
+    @pytest.mark.parametrize("name", BATCHABLE)
+    @pytest.mark.parametrize("n,p", [(0, 4), (1, 4), (257, 3), (1024, 8)])
+    def test_matches_scalar_drain(self, name, n, p):
+        """chunk_schedule() must replay exactly what next_chunk produces."""
+        make = get_technique(name)
+        pr = SchedulingParams(n=n, p=p, h=0.25, mu=1.0, sigma=1.0)
+        closed_form = make(pr).chunk_schedule()
+        drained = chunk_sizes(make(pr))
+        assert closed_form is not None
+        assert closed_form.tolist() == list(drained)
+        assert int(closed_form.sum()) == n
+
+    def test_worker_dependent_returns_none(self):
+        assert get_technique("wf")(params()).chunk_schedule() is None
+
+    def test_used_scheduler_rejected(self):
+        sched = get_technique("ss")(params())
+        sched.next_chunk(0)
+        with pytest.raises(ValueError):
+            sched.chunk_schedule()
+
+
+class TestKernelIdentity:
+    """Per-replication equality with the scalar oracle on deterministic
+    workloads: same makespan, compute times, chunk counts — bit for bit."""
+
+    @pytest.mark.parametrize("name", BATCHABLE)
+    @pytest.mark.parametrize("model", list(OverheadModel))
+    def test_constant_workload(self, name, model):
+        pr = params()
+        workload = ConstantWorkload(1.0)
+        factory = get_technique(name)
+        scalar = DirectSimulator(pr, workload, overhead_model=model)
+        batch = BatchDirectSimulator(pr, workload, overhead_model=model)
+        want = scalar.run(factory, seed=0)
+        got = batch.run_batch(factory, 3, seed=0)
+        for r in got:
+            assert r.makespan == want.makespan
+            assert r.compute_times == want.compute_times
+            assert r.chunks_per_worker == want.chunks_per_worker
+            assert r.num_chunks == want.num_chunks
+            assert r.total_task_time == want.total_task_time
+
+    def test_heterogeneous_speeds_and_start_times(self):
+        pr = params(n=511, p=4)
+        workload = ConstantWorkload(2.0)
+        speeds = [1.0, 2.0, 0.5, 1.5]
+        starts = [0.0, 3.0, 1.0, 0.0]
+        factory = get_technique("fac2")
+        scalar = DirectSimulator(pr, workload, speeds=speeds,
+                                 start_times=starts)
+        batch = BatchDirectSimulator(pr, workload, speeds=speeds,
+                                     start_times=starts)
+        want = scalar.run(factory, seed=0)
+        got = batch.run_batch(factory, 1, seed=0)[0]
+        assert got.makespan == want.makespan
+        assert got.compute_times == want.compute_times
+        assert got.chunks_per_worker == want.chunks_per_worker
+
+    def test_block_streaming_matches_single_block(self):
+        """Splitting reps over internal memory blocks must not change
+        per-replication results (same rng order per block boundary)."""
+        pr = params(n=64, p=2)
+        workload = ConstantWorkload(1.0)
+        factory = get_technique("gss")
+        one = BatchDirectSimulator(pr, workload).run_batch(factory, 5, seed=1)
+        tiny = BatchDirectSimulator(
+            pr, workload, max_block_elements=1
+        ).run_batch(factory, 5, seed=1)
+        assert [r.makespan for r in one] == [r.makespan for r in tiny]
+
+
+class TestKernelDistribution:
+    """Stochastic workloads: batch means must agree with scalar means."""
+
+    @pytest.mark.parametrize("name", ("ss", "fac", "gss"))
+    def test_exponential_means_agree(self, name):
+        pr = SchedulingParams(n=1024, p=8, h=0.5, mu=1.0, sigma=1.0)
+        workload = ExponentialWorkload(1.0)
+        factory = get_technique(name)
+        runs = 200
+        rng_seed = np.random.SeedSequence(42)
+        batch = BatchDirectSimulator(pr, workload)
+        got = batch.run_batch(factory, runs, rng_seed)
+        scalar = DirectSimulator(pr, workload)
+        want = [scalar.run(factory, seed=1000 + i) for i in range(runs)]
+        gm = np.mean([r.average_wasted_time for r in got])
+        wm = np.mean([r.average_wasted_time for r in want])
+        gs = np.std([r.average_wasted_time for r in got])
+        # within ~4 standard errors of each other
+        tol = 4 * gs / np.sqrt(runs) + 4 * np.std(
+            [r.average_wasted_time for r in want]
+        ) / np.sqrt(runs)
+        assert abs(gm - wm) <= tol
+
+    def test_unsupported_technique_raises(self):
+        batch = BatchDirectSimulator(params(), ConstantWorkload(1.0))
+        with pytest.raises(BatchScheduleUnavailableError):
+            batch.run_batch(get_technique("wf"), 2, seed=0)
+
+
+class TestChunkTimesBatchDispatch:
+    """Satellite: chunk_times_batch and chunk_time share one closed-form
+    dispatch — a batch of one must equal the scalar call exactly."""
+
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            ConstantWorkload(1.5),
+            ExponentialWorkload(2.0),
+            GammaWorkload(2.0, 0.5),
+        ],
+        ids=lambda w: type(w).__name__,
+    )
+    @pytest.mark.parametrize("size", [1, 7, 128])
+    def test_batch_of_one_equals_scalar(self, workload, size):
+        starts = np.asarray([3], dtype=np.int64)
+        sizes = np.asarray([size], dtype=np.int64)
+        a = workload.chunk_times_batch(starts, sizes, 1, make_rng(9))[0, 0]
+        b = workload.chunk_time(3, size, make_rng(9))
+        assert a == b
+
+    def test_batch_shape_and_positivity(self):
+        workload = ExponentialWorkload(1.0)
+        sizes = np.asarray([4, 1, 9], dtype=np.int64)
+        starts = np.cumsum(sizes) - sizes
+        out = workload.chunk_times_batch(starts, sizes, 5, make_rng(0))
+        assert out.shape == (5, 3)
+        assert (out > 0).all()
+
+
+class TestRunnerIntegration:
+    def make_task(self, technique="fac2", simulator="direct-batch"):
+        return RunTask(
+            technique=technique,
+            params=scheduling_params(512, 4),
+            workload=ExponentialWorkload(1.0),
+            simulator=simulator,
+        )
+
+    def test_direct_batch_deterministic(self):
+        a = run_replicated(self.make_task(), 6, campaign_seed=3, processes=1)
+        b = run_replicated(self.make_task(), 6, campaign_seed=3, processes=1)
+        assert [r.makespan for r in a] == [r.makespan for r in b]
+        assert len({r.makespan for r in a}) == 6
+
+    def test_direct_batch_pool_matches_sequential(self):
+        """Block seeding is worker-count independent: 2-process pool and
+        the in-process loop must produce identical campaigns."""
+        from repro.experiments.runner import BATCH_BLOCK_RUNS
+
+        runs = BATCH_BLOCK_RUNS + 5  # force >1 block
+        task = self.make_task()
+        seq = run_replicated(task, runs, campaign_seed=11, processes=1)
+        pooled = run_replicated(task, runs, campaign_seed=11, processes=2)
+        assert [r.makespan for r in pooled] == [r.makespan for r in seq]
+
+    def test_adaptive_falls_back_to_scalar(self):
+        """BOLD on direct-batch == BOLD on direct (same seeds)."""
+        got = run_replicated(
+            self.make_task("bold"), 3, campaign_seed=5, processes=1
+        )
+        want = run_replicated(
+            self.make_task("bold", simulator="direct"), 3,
+            campaign_seed=5, processes=1,
+        )
+        assert [r.makespan for r in got] == [r.makespan for r in want]
+
+    def test_single_run_task_execute(self):
+        result = self.make_task().execute()
+        assert result.total_task_time > 0
+        assert result.num_chunks > 0
+
+    def test_repro_workers_env(self, monkeypatch):
+        from repro.experiments.runner import resolve_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers() == 3
+        assert resolve_workers(7) == 7  # explicit argument wins
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert resolve_workers() >= 1
+
+
+class TestSeedPlumbing:
+    """Satellite: RunTask without explicit entropy must be reproducible
+    (seed derived from the task's fields, not OS entropy)."""
+
+    def make_task(self):
+        return RunTask(
+            technique="fac2",
+            params=scheduling_params(256, 4),
+            workload=ExponentialWorkload(1.0),
+            simulator="direct",
+        )
+
+    def test_empty_entropy_is_deterministic(self):
+        assert self.make_task().execute().makespan == \
+            self.make_task().execute().makespan
+
+    def test_derived_entropy_depends_on_fields(self):
+        a = self.make_task()
+        b = RunTask(**{**a.__dict__, "technique": "gss"})
+        assert a.derived_entropy() != b.derived_entropy()
+
+    def test_explicit_entropy_wins(self):
+        a = self.make_task()
+        b = RunTask(**{**a.__dict__, "seed_entropy": (1, 2, 3)})
+        assert b.seed_sequence().entropy == [1, 2, 3]
+        assert a.execute().makespan != b.execute().makespan
