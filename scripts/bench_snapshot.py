@@ -1,12 +1,17 @@
 #!/usr/bin/env python
-"""Snapshot the batch-kernel benchmarks into a committed JSON file.
+"""Snapshot the fast-path benchmarks into committed JSON files.
 
-Times the PR's headline cells (batch kernel vs scalar direct simulator,
-one core) and writes ``{bench_name: seconds}`` to BENCH_PR1.json at the
-repository root, so future PRs can diff wall-clock numbers without
-re-running the scalar baseline.
+Times the headline cells of the two perf PRs and writes
+``{bench_name: seconds}`` snapshots at the repository root, so future
+PRs can diff wall-clock numbers without re-running the baselines:
 
-Usage:  PYTHONPATH=src python scripts/bench_snapshot.py [output.json]
+* ``--pr1`` — batch kernel vs scalar direct simulator (BENCH_PR1.json)
+* ``--pr2`` — MSG fast path vs event-driven master-worker simulator
+  (BENCH_PR2.json)
+
+Usage:  PYTHONPATH=src python scripts/bench_snapshot.py [--pr1|--pr2] [out.json]
+
+With no selector both snapshots are written to their default files.
 """
 
 from __future__ import annotations
@@ -20,18 +25,25 @@ from pathlib import Path
 from repro.core.registry import get_technique
 from repro.directsim import BatchDirectSimulator, DirectSimulator
 from repro.experiments.bold_experiments import scheduling_params
+from repro.simgrid.fastpath import FastMasterWorkerSimulation
+from repro.simgrid.masterworker import MasterWorkerSimulation
 from repro.workloads import ExponentialWorkload
 
 BATCH_RUNS = 100
 #: (bench key, technique, scalar replications to time)
-CELLS = (("ss", "ss", 2), ("fac", "fac", 3))
+DIRECT_CELLS = (("ss", "ss", 2), ("fac", "fac", 3))
+
+MSG_FAST_RUNS = 20
+#: (bench key, technique, event-driven replications to time)
+MSG_CELLS = (("ss", "ss", 2), ("fac2", "fac2", 3))
 
 
-def snapshot() -> dict[str, float]:
+def snapshot_pr1() -> dict[str, float]:
+    """Batch-replication kernel vs the scalar direct simulator."""
     out: dict[str, float] = {}
     params = scheduling_params(65536, 64)
     workload = ExponentialWorkload(1.0)
-    for key, technique, scalar_runs in CELLS:
+    for key, technique, scalar_runs in DIRECT_CELLS:
         factory = get_technique(technique)
 
         scalar = DirectSimulator(params, workload)
@@ -54,17 +66,73 @@ def snapshot() -> dict[str, float]:
     return out
 
 
-def main() -> None:
-    target = Path(sys.argv[1]) if len(sys.argv) > 1 else (
-        Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
-    )
-    data = snapshot()
+def snapshot_pr2() -> dict[str, float]:
+    """MSG fast path vs the event-driven master-worker simulator.
+
+    Results are asserted bit-identical before the timings are recorded —
+    a speedup over different outputs would be meaningless.
+    """
+    out: dict[str, float] = {}
+    params = scheduling_params(65536, 64)
+    workload = ExponentialWorkload(1.0)
+    for key, technique, event_runs in MSG_CELLS:
+        factory = get_technique(technique)
+
+        event = MasterWorkerSimulation(params, workload)
+        t0 = time.perf_counter()
+        event_results = [
+            event.run(factory, seed=i) for i in range(event_runs)
+        ]
+        event_per_run = (time.perf_counter() - t0) / event_runs
+
+        fast = FastMasterWorkerSimulation(params, workload)
+        t0 = time.perf_counter()
+        results = fast.run_many(factory, list(range(MSG_FAST_RUNS)))
+        fast_time = time.perf_counter() - t0
+        assert len(results) == MSG_FAST_RUNS
+        for a, b in zip(event_results, results):
+            assert a.makespan == b.makespan
+            assert a.extras == b.extras
+
+        fast_per_run = fast_time / MSG_FAST_RUNS
+        out[f"msg_fast_{key}_n65536_p64_per_run_s"] = round(fast_per_run, 4)
+        out[f"msg_event_{key}_n65536_p64_per_run_s"] = round(event_per_run, 4)
+        out[f"msg_speedup_{key}_per_run"] = round(
+            event_per_run / fast_per_run, 1
+        )
+    return out
+
+
+SNAPSHOTS = {
+    "--pr1": (snapshot_pr1, "BENCH_PR1.json"),
+    "--pr2": (snapshot_pr2, "BENCH_PR2.json"),
+}
+
+
+def write_snapshot(fn, target: Path) -> None:
+    data: dict = fn()
     data["_meta_python"] = platform.python_version()
     data["_meta_machine"] = platform.machine()
     target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     print(f"wrote {target}")
     for name, seconds in data.items():
         print(f"  {name}: {seconds}")
+
+
+def main() -> None:
+    root = Path(__file__).resolve().parent.parent
+    args = sys.argv[1:]
+    selected = [a for a in args if a in SNAPSHOTS]
+    paths = [a for a in args if a not in SNAPSHOTS]
+    if not selected:
+        selected = list(SNAPSHOTS)
+    if paths and len(selected) != 1:
+        raise SystemExit("an explicit output path needs exactly one of "
+                         "--pr1/--pr2")
+    for flag in selected:
+        fn, default_name = SNAPSHOTS[flag]
+        target = Path(paths[0]) if paths else root / default_name
+        write_snapshot(fn, target)
 
 
 if __name__ == "__main__":

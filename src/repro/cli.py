@@ -39,9 +39,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--runs", type=int, default=None,
                      help="replications (default: experiment-specific)")
     run.add_argument("--simulator",
-                     choices=("msg", "direct", "direct-batch"), default=None,
+                     choices=("msg", "msg-fast", "direct", "direct-batch"),
+                     default=None,
                      help="simulator backend for the BOLD experiments "
-                          "(direct-batch = vectorized replication kernel)")
+                          "(direct-batch = vectorized replication kernel, "
+                          "msg-fast = compiled MSG master-worker loop)")
     run.add_argument("--seed", type=int, default=None, help="campaign seed")
     run.add_argument("--workers", type=int, default=None,
                      help="replication process-pool size (default: "
@@ -76,7 +78,8 @@ def build_parser() -> argparse.ArgumentParser:
     simu.add_argument("--mean", type=float, default=1.0)
     simu.add_argument("--runs", type=int, default=1)
     simu.add_argument("--seed", type=int, default=0)
-    simu.add_argument("--simulator", choices=("msg", "direct"), default="msg")
+    simu.add_argument("--simulator", choices=("msg", "msg-fast", "direct"),
+                      default="msg")
 
     rec = sub.add_parser(
         "recommend",
@@ -100,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="drastically reduced run counts (smoke-test scale)",
     )
     campaign.add_argument(
-        "--simulator", choices=("msg", "direct", "direct-batch"),
+        "--simulator", choices=("msg", "msg-fast", "direct", "direct-batch"),
         default="msg",
         help="simulator backend for the BOLD experiments",
     )
@@ -227,7 +230,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     import statistics
 
     from .directsim import DirectSimulator
-    from .simgrid import MasterWorkerSimulation
+    from .simgrid import FastMasterWorkerSimulation, MasterWorkerSimulation
     from .workloads import (
         ConstantWorkload,
         ExponentialWorkload,
@@ -245,6 +248,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     factory = lambda p: get_technique(args.technique)(p)
     if args.simulator == "direct":
         sim = DirectSimulator(params, workload)
+    elif args.simulator == "msg-fast":
+        sim = FastMasterWorkerSimulation(params, workload)
     else:
         sim = MasterWorkerSimulation(params, workload)
     results = [sim.run(factory, seed=args.seed + i) for i in range(args.runs)]

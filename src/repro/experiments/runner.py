@@ -38,11 +38,12 @@ from ..core.registry import get_technique
 from ..directsim import DirectSimulator
 from ..metrics.wasted_time import OverheadModel
 from ..results import RunResult
+from ..simgrid.fastpath import FastMasterWorkerSimulation
 from ..simgrid.masterworker import MasterWorkerConfig, MasterWorkerSimulation
 from ..simgrid.platform import Platform
 from ..workloads.distributions import Workload
 
-SimulatorKind = Literal["msg", "direct", "direct-batch"]
+SimulatorKind = Literal["msg", "msg-fast", "direct", "direct-batch"]
 
 #: replications per batched pool block.  Fixed (instead of derived from
 #: the worker count) so campaign results are deterministic in
@@ -85,7 +86,10 @@ class RunTask:
                 self.technique,
                 repr(self.params),
                 repr(self.workload),
-                self.simulator,
+                # msg-fast is bit-identical to msg; give it the same
+                # derived seeds so the equality is visible even for
+                # single un-seeded tasks.
+                "msg" if self.simulator == "msg-fast" else self.simulator,
                 self.overhead_model.value,
                 repr(self.speeds),
                 repr(self.start_times),
@@ -136,7 +140,12 @@ class RunTask:
             overhead_model=self.overhead_model,
             start_times=list(self.start_times) if self.start_times else None,
         )
-        sim = MasterWorkerSimulation(
+        sim_cls = (
+            FastMasterWorkerSimulation
+            if self.simulator == "msg-fast"
+            else MasterWorkerSimulation
+        )
+        sim = sim_cls(
             self.params, self.workload, platform=self.platform, config=config
         )
         return sim.run(factory, seed)
@@ -173,11 +182,44 @@ class BatchRunBlock:
         return sim.run_batch(factory, self.runs, seed)
 
 
+@dataclass(frozen=True)
+class MsgRunBlock:
+    """A block of MSG fast-path replications of one cell.
+
+    Carries the *per-run* seed entropies derived exactly as
+    :func:`expand_replications` derives them, so a blocked pooled
+    campaign is bit-identical to the serial per-task path — the block
+    partitioning only amortises the chunk-schedule precomputation
+    (``FastMasterWorkerSimulation.run_many``) and pickling overhead.
+    """
+
+    task: RunTask
+    seed_entropies: tuple[tuple[int, ...], ...]
+
+    def execute(self) -> list[RunResult]:
+        task = self.task
+        factory = lambda params: get_technique(task.technique)(
+            params, **task.technique_kwargs
+        )
+        config = MasterWorkerConfig(
+            overhead_model=task.overhead_model,
+            start_times=list(task.start_times) if task.start_times else None,
+        )
+        sim = FastMasterWorkerSimulation(
+            task.params, task.workload, platform=task.platform, config=config
+        )
+        seeds = [
+            np.random.SeedSequence(entropy=list(entropy))
+            for entropy in self.seed_entropies
+        ]
+        return sim.run_many(factory, seeds)
+
+
 def _execute_task(task: RunTask) -> RunResult:
     return task.execute()
 
 
-def _execute_indexed(item: tuple[int, RunTask | BatchRunBlock]):
+def _execute_indexed(item: tuple[int, RunTask | BatchRunBlock | MsgRunBlock]):
     index, task = item
     return index, task.execute()
 
@@ -226,7 +268,7 @@ def shutdown_pool() -> None:
 atexit.register(shutdown_pool)
 
 
-def _run_pooled(items: Sequence[RunTask | BatchRunBlock],
+def _run_pooled(items: Sequence[RunTask | BatchRunBlock | MsgRunBlock],
                 processes: int) -> list:
     """Execute items (in order) over the persistent pool."""
     pool = _get_pool(processes)
@@ -299,6 +341,33 @@ def _batch_blocks(task: RunTask, runs: int,
     return blocks
 
 
+def _msg_blocks(task: RunTask, runs: int,
+                campaign_seed: int | None) -> list[MsgRunBlock] | None:
+    """Split ``runs`` msg-fast replications into pooled blocks, or None.
+
+    Per-run seed entropies are derived exactly as
+    :func:`expand_replications` derives them, then grouped into
+    consecutive blocks of :data:`BATCH_BLOCK_RUNS`; the grouping cannot
+    affect results because every run keeps its own seed.
+    """
+    if task.simulator != "msg-fast":
+        return None
+    seeds = np.random.SeedSequence(campaign_seed).spawn(runs)
+    entropies = [
+        tuple(int(v) for v in np.atleast_1d(seq.entropy)) + tuple(
+            seq.spawn_key
+        )
+        for seq in seeds
+    ]
+    return [
+        MsgRunBlock(
+            task=task,
+            seed_entropies=tuple(entropies[i:i + BATCH_BLOCK_RUNS]),
+        )
+        for i in range(0, runs, BATCH_BLOCK_RUNS)
+    ]
+
+
 def run_replicated(task: RunTask, runs: int, campaign_seed: int | None = None,
                    processes: int | None = None) -> list[RunResult]:
     """Convenience: expand replications of one task and run them.
@@ -306,10 +375,14 @@ def run_replicated(task: RunTask, runs: int, campaign_seed: int | None = None,
     For ``simulator="direct-batch"`` tasks whose technique supports the
     vectorized kernel, replications execute in blocks of
     :data:`BATCH_BLOCK_RUNS` (deterministic in the campaign seed,
-    independent of the worker count); everything else takes the per-run
-    scalar path.
+    independent of the worker count); ``simulator="msg-fast"`` tasks
+    similarly execute in blocks that share one chunk-schedule
+    precomputation per block.  Everything else takes the per-run scalar
+    path.
     """
     blocks = _batch_blocks(task, runs, campaign_seed)
+    if blocks is None:
+        blocks = _msg_blocks(task, runs, campaign_seed)
     if blocks is not None:
         processes = resolve_workers(processes)
         if processes <= 1 or len(blocks) <= 1:

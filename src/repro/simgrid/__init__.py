@@ -8,6 +8,11 @@ from .app import (
     split_deployment,
 )
 from .engine import Effect, Engine, Process, SimulationError, Timeout
+from .fastpath import (
+    FastMasterWorkerSimulation,
+    fastpath_ineligibility,
+    replicate_msg_fast,
+)
 from .masterworker import (
     MasterWorkerConfig,
     MasterWorkerSimulation,
@@ -66,6 +71,9 @@ __all__ = [
     "Effect",
     "Engine",
     "Execute",
+    "FastMasterWorkerSimulation",
+    "fastpath_ineligibility",
+    "replicate_msg_fast",
     "Host",
     "Link",
     "Mailbox",

@@ -9,6 +9,13 @@ hosts or networks — those live in :mod:`repro.simgrid.platform` and
 
 Determinism: events at equal times fire in schedule order (a monotonic
 sequence number breaks ties), so simulations are exactly reproducible.
+
+The event heap stores flat ``(time, seq, callback, args)`` tuples — the
+callback is whatever callable the scheduler passed in (typically a bound
+``Process.resume``), never a wrapper lambda, so scheduling an event
+allocates no closure.  Dead processes are dropped from the engine's
+bookkeeping as they finish; only live processes are retained (for the
+deadlock report), so long simulations do not accumulate garbage.
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ class SimulationError(RuntimeError):
 
 class Effect:
     """Base class for values a process may yield to the kernel."""
+
+    __slots__ = ()
 
     def apply(self, engine: "Engine", process: "Process") -> None:
         raise NotImplementedError
@@ -49,6 +58,8 @@ class Process:
     into the generator is effect-specific (e.g. the received message for a
     receive effect).  When the generator returns, the process is dead.
     """
+
+    __slots__ = ("engine", "gen", "name", "alive")
 
     def __init__(self, engine: "Engine", gen: Generator[Effect, Any, None],
                  name: str = "process"):
@@ -83,46 +94,47 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._seq = 0
-        self._processes: list[Process] = []
-        self._live_processes = 0
+        # Live processes only (insertion-ordered); finished processes are
+        # dropped immediately so the engine does not retain dead state.
+        self._live: dict[Process, None] = {}
 
     # -- event scheduling -------------------------------------------------
     def schedule(self, delay: float, callback: Callable[..., None],
                  *args: Any) -> None:
-        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        """Run ``callback(*args)`` after ``delay`` simulated seconds.
+
+        The heap entry is the flat tuple ``(time, seq, callback, args)``;
+        no per-event closure is allocated.
+        """
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
         self._seq += 1
-        heapq.heappush(
-            self._heap,
-            (self.now + delay, self._seq, lambda: callback(*args)),
-        )
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback, args))
 
     # -- processes ----------------------------------------------------------
     def spawn(self, gen: Generator[Effect, Any, None],
               name: str = "process", start_at: float = 0.0) -> Process:
         """Create a process and schedule its first step at ``start_at``."""
-        process = Process(self, gen, name=name)
-        self._processes.append(process)
-        self._live_processes += 1
         delay = start_at - self.now
         if delay < 0:
             raise ValueError(
                 f"cannot start process {name!r} in the past "
                 f"({start_at} < {self.now})"
             )
+        process = Process(self, gen, name=name)
+        self._live[process] = None
         self.schedule(delay, process.resume, None)
         return process
 
     def _process_finished(self, process: Process) -> None:
-        self._live_processes -= 1
+        self._live.pop(process, None)
 
     @property
     def live_processes(self) -> int:
         """Number of processes that have not yet finished."""
-        return self._live_processes
+        return len(self._live)
 
     # -- running ------------------------------------------------------------
     def run(self, until: Optional[float] = None,
@@ -133,23 +145,24 @@ class Engine:
         time bound; ``max_events`` guards against runaway simulations.
         """
         count = 0
-        while self._heap:
-            time, _, action = self._heap[0]
+        heap = self._heap
+        while heap:
+            time, _, action, args = heap[0]
             if until is not None and time > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
+            heapq.heappop(heap)
             if time < self.now:
                 raise SimulationError("event scheduled in the past")
             self.now = time
-            action()
+            action(*args)
             count += 1
             if max_events is not None and count >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events} at t={self.now}"
                 )
-        if self._live_processes > 0:
-            waiting = [p.name for p in self._processes if p.alive]
+        if self._live:
+            waiting = [p.name for p in self._live]
             raise SimulationError(
                 f"deadlock: no events left but processes are waiting: "
                 f"{waiting[:10]}"

@@ -1,0 +1,302 @@
+"""Compiled master-worker protocol: the MSG fast path.
+
+:class:`MasterWorkerSimulation` drives the Figure 1 protocol through the
+full DES stack — generator processes, mailboxes, send/receive effects,
+and one RNG draw per chunk.  For the campaign configurations that
+dominate the reproduction (non-adaptive techniques, no bandwidth
+contention), every run of that protocol is determined by a handful of
+scalars, so the whole simulation can be *flattened* into a single loop
+over master scheduling operations:
+
+1. the chunk-size sequence is precomputed once via
+   :meth:`~repro.core.base.Scheduler.chunk_schedule`;
+2. all chunk execution times are pre-sampled in one
+   :meth:`~repro.workloads.distributions.Workload.chunk_times_batch`
+   call, which consumes the RNG stream *identically* to the per-chunk
+   draws of the event-driven path (chunks are drawn in assignment
+   order in both);
+3. the master's serialised request servicing is replayed directly: the
+   master always serves pending work requests in global delivery order,
+   so a small heap of at most ``p`` pending requests replaces the event
+   heap, the mailboxes and the generator machinery.
+
+The replay is **bit-identical** to the event-driven simulator — same
+floating-point operations in the same order — for makespan, per-worker
+compute times, chunk counts, wait times, master counters and the chunk
+log; ``tests/test_fastpath_msg.py`` asserts this equality across all
+closed-form techniques, overhead models and platform shapes.
+
+Why the flattening is exact
+---------------------------
+
+The master is the only shared resource, and its sends are strictly
+serialised (every transfer takes ``> 0`` seconds), so work receipts —
+and therefore chunk-time draws — are strictly ordered in time in chunk
+assignment order.  The master serves requests in mailbox-FIFO order,
+which equals the global order of request *deliveries*; a delivery's
+position is ``(arrival time, engine sequence number)``, and the engine
+sequence number of a request-completion event is fixed by when the
+request send was initiated: first by initiation time, then spawn-order
+for initial requests (scheduled before the run starts), then finished-
+chunk order for follow-up requests (execute completions are scheduled
+at strictly increasing receipt times).  The pending-request heap keys on
+exactly that tuple, so ties in arrival time break as the event heap
+would break them.
+
+Configurations the flattening cannot express fall back transparently to
+the event-driven path: bandwidth contention (transfer times depend on
+concurrent flows), adaptive or schedule-nondeterministic techniques
+(chunk sizes depend on run-time feedback), and ``max_events`` budgets
+(the fast path has no comparable event count).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.base import ChunkRecord, Scheduler
+from ..core.params import SchedulingParams
+from ..metrics.wasted_time import OverheadModel
+from ..results import ChunkExecution, RunResult
+from ..workloads.generator import make_rng
+from .masterworker import MasterWorkerSimulation
+
+
+def fastpath_ineligibility(
+    scheduler: Scheduler | type[Scheduler], config
+) -> str | None:
+    """Why ``(scheduler, config)`` cannot take the fast path (None = can).
+
+    The returned string is a short human-readable reason, used by the
+    fallback log hook and the docs' eligibility matrix.
+    """
+    if config.contention:
+        return "contention: transfer times depend on concurrent flows"
+    if config.max_events is not None:
+        return "max_events budget: the fast path has no event counter"
+    if scheduler.adaptive:
+        return "adaptive technique: chunk sizes depend on measured times"
+    if not scheduler.deterministic_schedule:
+        return "no precomputable chunk schedule for this technique"
+    return None
+
+
+class FastMasterWorkerSimulation(MasterWorkerSimulation):
+    """Drop-in :class:`MasterWorkerSimulation` with a compiled fast path.
+
+    :meth:`run` produces bit-identical :class:`RunResult` objects to the
+    event-driven simulator whenever the configuration is eligible (see
+    :func:`fastpath_ineligibility`); ineligible runs transparently fall
+    back to the inherited event-driven protocol.  All constructor
+    arguments, overhead models, heterogeneous platforms, custom message
+    sizes and staggered start times behave exactly as in the parent.
+    """
+
+    #: set by every :meth:`run` call: True when the last run was flattened
+    last_run_fast: bool = False
+
+    def run(
+        self,
+        scheduler: Scheduler | Callable[[SchedulingParams], Scheduler],
+        seed: int | np.random.SeedSequence | None = None,
+    ) -> RunResult:
+        if not isinstance(scheduler, Scheduler):
+            scheduler = scheduler(self.params)
+        if fastpath_ineligibility(scheduler, self.config) is not None:
+            self.last_run_fast = False
+            return super().run(scheduler, seed)
+        if scheduler.state.scheduled_chunks:
+            raise ValueError("scheduler has already been used; pass a fresh one")
+        label = scheduler.label or scheduler.name
+        sizes = scheduler.chunk_schedule()
+        if sizes is None:  # pragma: no cover - guarded by eligibility
+            self.last_run_fast = False
+            return super().run(scheduler, seed)
+        # Closed-form chunk_schedule leaves the instance untouched; mark
+        # it consumed so reuse is rejected exactly as on the event path.
+        scheduler.state.scheduled_chunks = int(sizes.size)
+        self.last_run_fast = True
+        return self._fast_run(label, sizes, make_rng(seed))
+
+    def run_many(
+        self,
+        factory: Callable[[SchedulingParams], Scheduler],
+        seeds: Iterable[int | np.random.SeedSequence | None],
+    ) -> list[RunResult]:
+        """Independent replications sharing one schedule precomputation.
+
+        Each seed produces exactly the result :meth:`run` would produce
+        for it; eligible cells compute the chunk schedule once and replay
+        it per seed, ineligible cells loop the event-driven simulator
+        with a fresh scheduler per run.
+        """
+        seeds = list(seeds)
+        probe = factory(self.params)
+        if fastpath_ineligibility(probe, self.config) is not None:
+            self.last_run_fast = False
+            return [
+                MasterWorkerSimulation.run(self, factory, seed)
+                for seed in seeds
+            ]
+        label = probe.label or probe.name
+        sizes = probe.chunk_schedule()
+        if sizes is None:  # pragma: no cover - guarded by eligibility
+            self.last_run_fast = False
+            return [
+                MasterWorkerSimulation.run(self, factory, seed)
+                for seed in seeds
+            ]
+        self.last_run_fast = True
+        return [self._fast_run(label, sizes, make_rng(seed)) for seed in seeds]
+
+    # -- the compiled loop ------------------------------------------------
+    def _fast_run(
+        self, label: str, sizes: np.ndarray, rng: np.random.Generator
+    ) -> RunResult:
+        params, config = self.params, self.config
+        p, h = params.p, params.h
+        model = config.overhead_model
+        serialized = model is OverheadModel.SERIALIZED_MASTER
+        per_worker = model is OverheadModel.PER_WORKER
+
+        num_chunks = int(sizes.size)
+        starts = np.cumsum(sizes) - sizes
+        # One batched draw for every chunk, in assignment order — consumes
+        # the RNG exactly as the event path's per-chunk draws do.
+        if num_chunks:
+            task_times = self.workload.chunk_times_batch(
+                starts, sizes, 1, rng
+            )[0].tolist()
+        else:
+            task_times = []
+
+        platform = self.platform
+        master = self.master_host.name
+        worker_names = [host.name for host in self.worker_hosts]
+        speeds = [host.speed for host in self.worker_hosts]
+        d_req = [
+            platform.transfer_time(name, master, config.request_size)
+            for name in worker_names
+        ]
+        d_work = [
+            platform.transfer_time(master, name, config.work_size)
+            for name in worker_names
+        ]
+        d_fin = [
+            platform.transfer_time(master, name, config.finalize_size)
+            for name in worker_names
+        ]
+
+        # Pending work requests, keyed as the event heap would order their
+        # deliveries: (arrival, initiation time, initiator tier, rank).
+        # Tier 0 = the initial request of worker ``rank`` (scheduled at
+        # spawn, before any run-time event); tier 1 = the follow-up
+        # request after finishing chunk ``rank``.
+        start_times = self.start_times
+        pending = [
+            (start_times[w] + d_req[w], start_times[w], 0, w, w)
+            for w in range(p)
+        ]
+        heapq.heapify(pending)
+
+        requests = [1] * p              # the initial request is in flight
+        t_request = list(start_times)   # when each worker last requested
+        wait_times = [0.0] * p
+        compute_times = [0.0] * p
+        task_time_acc = [0.0] * p
+        chunk_counts = [0] * p
+        # The event path logs chunks as their Execute effects *complete*;
+        # completions at equal times fire in schedule (= assignment)
+        # order, so a stable sort on end time reproduces the log exactly.
+        log_entries: list[tuple[float, ChunkExecution]] | None = (
+            [] if config.record_chunks else None
+        )
+        master_messages = 0
+        master_busy_time = 0.0
+        master_free = 0.0
+        c = 0
+        finalized = 0
+
+        while finalized < p:
+            arrival, _, _, _, w = heapq.heappop(pending)
+            master_messages += 1
+            t = master_free if master_free > arrival else arrival
+            if serialized and h > 0 and c < num_chunks:
+                after = t + h
+                master_busy_time += after - t
+                t = after
+            if c < num_chunks:
+                receipt = t + d_work[w]
+                wait_times[w] += receipt - t_request[w]
+                begin = receipt + h if (per_worker and h > 0) else receipt
+                task_time = task_times[c]
+                end = begin + task_time / speeds[w]
+                elapsed = end - begin
+                compute_times[w] += elapsed
+                task_time_acc[w] += task_time
+                chunk_counts[w] += 1
+                if log_entries is not None:
+                    record = ChunkRecord(
+                        index=c, worker=w,
+                        start=int(starts[c]), size=int(sizes[c]),
+                    )
+                    log_entries.append(
+                        (end, ChunkExecution(record, begin, elapsed))
+                    )
+                requests[w] += 1
+                t_request[w] = end
+                heapq.heappush(pending, (end + d_req[w], end, 1, c, w))
+                c += 1
+                master_free = receipt
+            else:
+                done_at = t + d_fin[w]
+                wait_times[w] += done_at - t_request[w]
+                finalized += 1
+                master_free = done_at
+
+        return RunResult(
+            technique=label,
+            n=params.n,
+            p=p,
+            h=h,
+            overhead_model=model,
+            makespan=master_free,
+            compute_times=compute_times,
+            chunks_per_worker=chunk_counts,
+            num_chunks=num_chunks,
+            total_task_time=sum(task_time_acc),
+            chunk_log=(
+                [entry for _, entry in
+                 sorted(log_entries, key=lambda item: item[0])]
+                if log_entries is not None else []
+            ),
+            extras={
+                "master_messages": master_messages,
+                "master_busy_time": master_busy_time,
+                "wait_times": wait_times,
+                "total_requests": sum(requests),
+            },
+        )
+
+
+def replicate_msg_fast(
+    simulation: FastMasterWorkerSimulation,
+    factory: Callable[[SchedulingParams], Scheduler],
+    runs: int,
+    seed: int | None = None,
+) -> list[RunResult]:
+    """Fast-path counterpart of :func:`repro.simgrid.replicate_msg`.
+
+    Uses the same spawned-seed derivation, so for eligible configurations
+    the results are bit-identical to ``replicate_msg`` on the event-driven
+    simulator.
+    """
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    seeds: Sequence[np.random.SeedSequence] = (
+        np.random.SeedSequence(seed).spawn(runs)
+    )
+    return simulation.run_many(factory, seeds)

@@ -36,7 +36,7 @@ WORK_MESSAGE_SIZE = 64.0
 FINALIZE_SIZE = 64.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An application message: payload plus simulated metadata."""
 
@@ -50,6 +50,8 @@ class Message:
 class Mailbox:
     """A named message queue attached to a host (for route lookup)."""
 
+    __slots__ = ("name", "host", "_messages", "_waiting")
+
     def __init__(self, name: str, host: Host):
         self.name = name
         self.host = host
@@ -57,10 +59,18 @@ class Mailbox:
         self._waiting: deque[Process] = deque()
 
     def deliver(self, message: Message) -> None:
-        """Deposit a message; wake one waiting receiver if any."""
+        """Deposit a message; wake one waiting receiver if any.
+
+        Rendezvous fast path: a delivery meeting a waiting receiver
+        resumes the receiver *directly*, inside the current event, rather
+        than scheduling a zero-delay wake-up through the heap.  The
+        receiver immediately yields its next effect (which schedules
+        normally), so the recursion is one level deep and the observable
+        event order — everything happens at the same simulated time, in
+        the same relative order — is unchanged.
+        """
         if self._waiting:
-            process = self._waiting.popleft()
-            process.engine.schedule(0.0, process.resume, message)
+            self._waiting.popleft().resume(message)
         else:
             self._messages.append(message)
 
@@ -112,12 +122,12 @@ class Send(Effect):
             sent_at=engine.now,
             delivered_at=engine.now + duration,
         )
+        engine.schedule(duration, self._complete, process, message)
 
-        def complete() -> None:
-            self.mailbox.deliver(message)
-            process.resume(None)
-
-        engine.schedule(duration, complete)
+    def _complete(self, process: Process, message: Message) -> None:
+        """Transfer done: deliver the message, then resume the sender."""
+        self.mailbox.deliver(message)
+        process.resume(None)
 
 
 class Receive(Effect):
@@ -134,7 +144,7 @@ class Receive(Effect):
             engine.schedule(0.0, process.resume, message)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ComputeTask:
     """An amount of computation, in seconds at unit host speed."""
 

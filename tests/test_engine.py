@@ -157,3 +157,84 @@ class TestProcesses:
     def test_timeout_duration_validated(self):
         with pytest.raises(ValueError):
             Timeout(-0.5)
+
+    def test_spawn_in_past_does_not_register_process(self):
+        """A rejected spawn must leave the engine untouched (no phantom
+        live process, no scheduled first step)."""
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+
+        def proc():
+            yield Timeout(0.0)
+
+        with pytest.raises(ValueError, match="past"):
+            engine.spawn(proc(), start_at=1.0)
+        assert engine.live_processes == 0
+        assert not engine._heap
+        engine.run()  # no deadlock: nothing was half-registered
+
+    def test_finished_processes_are_dropped(self):
+        engine = Engine()
+
+        def proc():
+            yield Timeout(1.0)
+
+        for i in range(50):
+            engine.spawn(proc(), name=f"p{i}")
+        assert engine.live_processes == 50
+        engine.run()
+        assert engine.live_processes == 0
+        assert not engine._live
+
+
+class TestZeroAllocationKernel:
+    """The event heap must hold plain callbacks, never per-event closures."""
+
+    def test_heap_entries_are_flat_tuples_with_named_callbacks(self):
+        engine = Engine()
+
+        def proc():
+            for _ in range(3):
+                yield Timeout(1.0)
+
+        process = engine.spawn(proc(), name="p")
+        for time, seq, callback, args in engine._heap:
+            assert callback.__name__ != "<lambda>"
+            assert callback.__func__ is type(process).resume
+            assert isinstance(args, tuple)
+
+    def test_100k_events_schedule_and_drain_without_closures(self):
+        engine = Engine()
+        fired = [0]
+
+        def tick(i):
+            fired[0] += 1
+
+        for i in range(100_000):
+            engine.schedule(i * 1e-3, tick, i)
+        # Callback identity: every heap entry holds ``tick`` itself — the
+        # kernel wrapped nothing.
+        assert all(entry[2] is tick for entry in engine._heap)
+        engine.run()
+        assert fired[0] == 100_000
+
+    def test_timeout_effect_schedules_bound_resume(self):
+        """A Timeout-driven process drains through bound ``resume``
+        callbacks — 100k timeouts, zero per-event closures."""
+        engine = Engine()
+        fired = [0]
+
+        def proc():
+            for _ in range(100_000):
+                yield Timeout(0.001)
+                fired[0] += 1
+
+        process = engine.spawn(proc(), name="driver")
+        engine.run(until=0.5)  # mid-flight: inspect the pending event
+        (entry,) = engine._heap
+        assert entry[2].__self__ is process
+        assert entry[2].__func__ is type(process).resume
+        engine.run()
+        assert fired[0] == 100_000
+        assert engine.live_processes == 0

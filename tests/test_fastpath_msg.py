@@ -1,0 +1,187 @@
+"""Bit-identity of the compiled MSG fast path to the event-driven path.
+
+The fast path is only allowed to exist because it is *exactly* the
+event-driven simulator, float for float — no tolerance-based comparisons
+here, everything is ``==``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import SchedulingParams
+from repro.core.registry import get_technique
+from repro.metrics.wasted_time import OverheadModel
+from repro.simgrid.fastpath import (
+    FastMasterWorkerSimulation,
+    fastpath_ineligibility,
+    replicate_msg_fast,
+)
+from repro.simgrid.masterworker import (
+    MSG_POOL_THRESHOLD,
+    MasterWorkerConfig,
+    MasterWorkerSimulation,
+    replicate_msg,
+)
+from repro.simgrid.platform import star_platform
+from repro.workloads import ConstantWorkload, ExponentialWorkload
+
+#: the twelve techniques with a precomputable (closed-form) schedule
+CLOSED_FORM = (
+    "css", "fac", "fac2", "fiss", "fsc", "gss",
+    "ss", "stat", "tap", "tfss", "tss", "viss",
+)
+
+PARAMS = SchedulingParams(n=1024, p=4, h=0.5, mu=1.0, sigma=1.0)
+
+
+def factory_for(name):
+    return lambda params: get_technique(name)(params)
+
+
+def assert_bit_identical(slow, fast):
+    assert slow.technique == fast.technique
+    assert slow.makespan == fast.makespan
+    assert slow.compute_times == fast.compute_times
+    assert slow.chunks_per_worker == fast.chunks_per_worker
+    assert slow.num_chunks == fast.num_chunks
+    assert slow.total_task_time == fast.total_task_time
+    assert slow.extras == fast.extras
+    assert len(slow.chunk_log) == len(fast.chunk_log)
+    for a, b in zip(slow.chunk_log, fast.chunk_log):
+        assert (a.record.index, a.record.worker,
+                a.record.start, a.record.size) == (
+            b.record.index, b.record.worker, b.record.start, b.record.size)
+        assert a.start_time == b.start_time
+        assert a.elapsed == b.elapsed
+
+
+@pytest.mark.parametrize("technique", CLOSED_FORM)
+@pytest.mark.parametrize("workload_cls", [ConstantWorkload, ExponentialWorkload])
+def test_bold_configuration_bit_identical(technique, workload_cls):
+    """BOLD setup (free network, POST_HOC): every closed-form technique."""
+    workload = workload_cls(1.0)
+    cfg = MasterWorkerConfig(record_chunks=True)
+    slow = MasterWorkerSimulation(PARAMS, workload, config=cfg)
+    fast = FastMasterWorkerSimulation(PARAMS, workload, config=cfg)
+    result_slow = slow.run(factory_for(technique), seed=42)
+    result_fast = fast.run(factory_for(technique), seed=42)
+    assert fast.last_run_fast
+    assert_bit_identical(result_slow, result_fast)
+
+
+@pytest.mark.parametrize("model", list(OverheadModel))
+def test_overhead_models_bit_identical(model):
+    workload = ExponentialWorkload(1.0)
+    cfg = MasterWorkerConfig(overhead_model=model)
+    slow = MasterWorkerSimulation(PARAMS, workload, config=cfg)
+    fast = FastMasterWorkerSimulation(PARAMS, workload, config=cfg)
+    for technique in ("ss", "gss", "fac2"):
+        assert_bit_identical(
+            slow.run(factory_for(technique), seed=7),
+            fast.run(factory_for(technique), seed=7),
+        )
+        assert fast.last_run_fast
+
+
+def test_heterogeneous_platform_and_staggered_starts_bit_identical():
+    workload = ExponentialWorkload(1.0)
+    platform = star_platform(
+        4, worker_speed=[1.0, 2.0, 0.5, 3.0], bandwidth=1e6, latency=1e-4
+    )
+    cfg = MasterWorkerConfig(start_times=[0.0, 3.0, 0.0, 7.5])
+    slow = MasterWorkerSimulation(PARAMS, workload, platform=platform,
+                                  config=cfg)
+    fast = FastMasterWorkerSimulation(PARAMS, workload, platform=platform,
+                                      config=cfg)
+    assert_bit_identical(
+        slow.run(factory_for("fac"), seed=11),
+        fast.run(factory_for("fac"), seed=11),
+    )
+    assert fast.last_run_fast
+
+
+@pytest.mark.parametrize("technique", ["awf", "awf-c", "af", "bold", "wf"])
+def test_fallback_techniques_still_bit_identical(technique):
+    """Adaptive / nondeterministic techniques fall back — same results."""
+    workload = ExponentialWorkload(1.0)
+    slow = MasterWorkerSimulation(PARAMS, workload)
+    fast = FastMasterWorkerSimulation(PARAMS, workload)
+    assert_bit_identical(
+        slow.run(factory_for(technique), seed=3),
+        fast.run(factory_for(technique), seed=3),
+    )
+    assert not fast.last_run_fast
+
+
+def test_contention_triggers_fallback():
+    workload = ExponentialWorkload(1.0)
+    cfg = MasterWorkerConfig(contention=True)
+    fast = FastMasterWorkerSimulation(PARAMS, workload, config=cfg)
+    slow = MasterWorkerSimulation(PARAMS, workload, config=cfg)
+    assert_bit_identical(
+        slow.run(factory_for("ss"), seed=3),
+        fast.run(factory_for("ss"), seed=3),
+    )
+    assert not fast.last_run_fast
+
+
+def test_max_events_triggers_fallback():
+    workload = ConstantWorkload(1.0)
+    cfg = MasterWorkerConfig(max_events=10_000_000)
+    fast = FastMasterWorkerSimulation(PARAMS, workload, config=cfg)
+    fast.run(factory_for("ss"), seed=3)
+    assert not fast.last_run_fast
+
+
+def test_ineligibility_reasons():
+    cfg = MasterWorkerConfig()
+    ss = get_technique("ss")(PARAMS)
+    assert fastpath_ineligibility(ss, cfg) is None
+    assert "contention" in fastpath_ineligibility(
+        ss, MasterWorkerConfig(contention=True))
+    assert "max_events" in fastpath_ineligibility(
+        ss, MasterWorkerConfig(max_events=100))
+    assert "adaptive" in fastpath_ineligibility(get_technique("awf")(PARAMS), cfg)
+    assert fastpath_ineligibility(get_technique("bold")(PARAMS), cfg)
+
+
+def test_scheduler_reuse_rejected_on_fast_path():
+    workload = ConstantWorkload(1.0)
+    fast = FastMasterWorkerSimulation(PARAMS, workload)
+    scheduler = get_technique("ss")(PARAMS)
+    fast.run(scheduler, seed=1)
+    with pytest.raises(ValueError, match="already been used"):
+        fast.run(scheduler, seed=1)
+
+
+def test_run_many_matches_individual_runs():
+    workload = ExponentialWorkload(1.0)
+    fast = FastMasterWorkerSimulation(PARAMS, workload)
+    seeds = np.random.SeedSequence(21).spawn(4)
+    batch = fast.run_many(factory_for("fac2"), seeds)
+    for seed, result in zip(seeds, batch):
+        assert_bit_identical(fast.run(factory_for("fac2"), seed), result)
+
+
+def test_run_many_fallback_matches_event_path():
+    workload = ExponentialWorkload(1.0)
+    fast = FastMasterWorkerSimulation(PARAMS, workload)
+    slow = MasterWorkerSimulation(PARAMS, workload)
+    seeds = np.random.SeedSequence(22).spawn(3)
+    batch = fast.run_many(factory_for("awf"), seeds)
+    assert not fast.last_run_fast
+    for seed, result in zip(seeds, batch):
+        assert_bit_identical(slow.run(factory_for("awf"), seed), result)
+
+
+def test_replicate_msg_fast_matches_replicate_msg():
+    workload = ExponentialWorkload(1.0)
+    slow = MasterWorkerSimulation(PARAMS, workload)
+    fast = FastMasterWorkerSimulation(PARAMS, workload)
+    runs = MSG_POOL_THRESHOLD - 1  # keep both sides serial and in-process
+    a = replicate_msg(slow, factory_for("gss"), runs, seed=123)
+    b = replicate_msg_fast(fast, factory_for("gss"), runs, seed=123)
+    for x, y in zip(a, b):
+        assert_bit_identical(x, y)

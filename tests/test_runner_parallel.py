@@ -73,3 +73,86 @@ class TestProcessPool:
         tasks = expand_replications(task, 2, campaign_seed=3)
         results = run_campaign(tasks, processes=2)
         assert all(r.total_task_time > 0 for r in results)
+
+
+def make_msg_task(simulator: str, technique: str = "fac2") -> RunTask:
+    return RunTask(
+        technique=technique,
+        params=scheduling_params(256, 4),
+        workload=ExponentialWorkload(1.0),
+        simulator=simulator,
+    )
+
+
+class TestMsgFastCampaign:
+    def test_msg_fast_matches_msg_bit_for_bit(self):
+        """A blocked msg-fast campaign equals a serial msg campaign."""
+        ref = run_replicated(make_msg_task("msg"), 6, campaign_seed=11,
+                             processes=1)
+        fast = run_replicated(make_msg_task("msg-fast"), 6, campaign_seed=11,
+                              processes=1)
+        for a, b in zip(ref, fast):
+            assert a.makespan == b.makespan
+            assert a.compute_times == b.compute_times
+            assert a.chunks_per_worker == b.chunks_per_worker
+            assert a.extras == b.extras
+
+    def test_msg_fast_independent_of_worker_count(self):
+        one = run_replicated(make_msg_task("msg-fast"), 6, campaign_seed=13,
+                             processes=1)
+        two = run_replicated(make_msg_task("msg-fast"), 6, campaign_seed=13,
+                             processes=2)
+        assert [r.makespan for r in one] == [r.makespan for r in two]
+        assert [r.extras["total_requests"] for r in one] == [
+            r.extras["total_requests"] for r in two
+        ]
+
+    def test_msg_fast_adaptive_falls_back_but_matches(self):
+        """Adaptive techniques route through the fallback inside the
+        block — still identical to the plain msg campaign."""
+        ref = run_replicated(make_msg_task("msg", "awf"), 3, campaign_seed=17,
+                             processes=1)
+        fast = run_replicated(make_msg_task("msg-fast", "awf"), 3,
+                              campaign_seed=17, processes=1)
+        assert [r.makespan for r in ref] == [r.makespan for r in fast]
+
+    def test_msg_fast_derived_entropy_matches_msg(self):
+        """Un-seeded msg-fast tasks reproduce un-seeded msg tasks."""
+        assert (make_msg_task("msg").derived_entropy()
+                == make_msg_task("msg-fast").derived_entropy())
+
+
+class TestPooledReplicateMsg:
+    def test_pooled_matches_serial(self):
+        from repro.core.registry import get_technique
+        from repro.simgrid.masterworker import (
+            MasterWorkerSimulation,
+            replicate_msg,
+        )
+
+        sim = MasterWorkerSimulation(
+            scheduling_params(256, 4), ExponentialWorkload(1.0)
+        )
+        factory = get_technique("fac2")  # class: picklable
+        serial = replicate_msg(sim, factory, 10, seed=5, processes=1)
+        pooled = replicate_msg(sim, factory, 10, seed=5, processes=2)
+        assert [r.makespan for r in serial] == [r.makespan for r in pooled]
+        assert [r.extras for r in serial] == [r.extras for r in pooled]
+
+    def test_unpicklable_factory_falls_back_to_serial(self):
+        from repro.core.registry import get_technique
+        from repro.simgrid.masterworker import (
+            MasterWorkerSimulation,
+            replicate_msg,
+        )
+
+        sim = MasterWorkerSimulation(
+            scheduling_params(128, 4), ExponentialWorkload(1.0)
+        )
+        factory = lambda p: get_technique("gss")(p)  # noqa: E731
+        results = replicate_msg(sim, factory, 9, seed=5, processes=2)
+        assert len(results) == 9
+        assert [r.makespan for r in results] == [
+            r.makespan
+            for r in replicate_msg(sim, factory, 9, seed=5, processes=1)
+        ]
