@@ -1,0 +1,255 @@
+"""Backend protocol: capabilities, fallback events, replication blocks.
+
+A *backend* is one execution substrate for a :class:`~repro.experiments.
+runner.RunTask` — the event-driven MSG stack, its compiled fast path, the
+direct Hagerup-style simulator, or the vectorized batch kernel.  Each
+backend declares what it can simulate as a :class:`BackendCapabilities`
+record; dispatch (``repro.backends.registry.resolve_backend``) checks a
+task's requirements against those capabilities and walks the backend's
+declared :attr:`~SimulationBackend.fallback` chain when they are not
+met, emitting a :class:`FallbackEvent` for every degradation instead of
+falling back silently inside a simulator module.
+
+Adding a new backend is a registration, not a runner rewrite::
+
+    from repro.backends import SimulationBackend, register_backend
+
+    @register_backend
+    class PerturbedBackend(SimulationBackend):
+        name = "perturbed"
+        description = "SimAS-style perturbation-aware simulator"
+        capabilities = BackendCapabilities(...)
+        fallback = "msg"
+
+        def run(self, task, seed):
+            ...
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, ClassVar
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid a runtime cycle: the runner imports this package
+    from ..experiments.runner import RunTask
+    from ..results import RunResult
+
+#: replications per pooled replication block.  Fixed (instead of derived
+#: from the worker count) so campaign results are deterministic in
+#: (task, runs, campaign_seed) regardless of how many processes execute.
+BATCH_BLOCK_RUNS = 64
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can simulate, one flag per scenario dimension.
+
+    The flags double as the rows of the documentation's capability
+    matrix (:func:`repro.backends.registry.capability_matrix`), so every
+    field needs a short human-readable description in
+    :data:`CAPABILITY_DESCRIPTIONS`.
+    """
+
+    #: techniques whose chunk sizes depend on measured execution times
+    #: (AWF family, AF, BOLD)
+    adaptive_techniques: bool = False
+    #: techniques whose chunk sequence depends on which worker requests
+    #: (WF, PLS, RND) — anything without a precomputable schedule
+    nondeterministic_schedules: bool = False
+    #: max-min-fair bandwidth sharing among concurrent transfers
+    contention: bool = False
+    #: platform-aware network modelling (latencies, heterogeneous hosts)
+    platforms: bool = False
+    #: per-worker relative speeds passed directly (without a platform)
+    per_worker_speeds: bool = False
+    #: per-worker staggered start times
+    staggered_starts: bool = False
+    #: ``max_events`` simulation budgets
+    max_events: bool = False
+    #: block-level replication execution (one schedule precomputation
+    #: amortised over a whole block of replications)
+    pooled_blocks: bool = False
+
+
+#: capability field -> short description for generated documentation
+CAPABILITY_DESCRIPTIONS: dict[str, str] = {
+    "adaptive_techniques": "adaptive techniques (AWF*, AF, BOLD)",
+    "nondeterministic_schedules": "worker-dependent schedules (WF, PLS, RND)",
+    "contention": "bandwidth contention (flow network)",
+    "platforms": "platform-aware network modelling",
+    "per_worker_speeds": "direct per-worker speeds",
+    "staggered_starts": "staggered start times",
+    "max_events": "max_events budgets",
+    "pooled_blocks": "pooled replication blocks",
+}
+
+
+def capability_names() -> list[str]:
+    """The capability flags in declaration order."""
+    return [f.name for f in fields(BackendCapabilities)]
+
+
+@dataclass(frozen=True)
+class FallbackEvent:
+    """One capability-driven degradation: requested backend -> chosen.
+
+    Recorded by ``resolve_backend`` whenever a requested backend cannot
+    serve a task and dispatch moves to its declared fallback; surfaced
+    in campaign reports (``repro-dls run fig5 ...`` prints them) instead
+    of the degradation happening silently.
+    """
+
+    task_key: str
+    requested: str
+    chosen: str
+    reason: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.requested} -> {self.chosen} for {self.task_key}: "
+            f"{self.reason}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "task": self.task_key,
+            "requested": self.requested,
+            "chosen": self.chosen,
+            "reason": self.reason,
+        }
+
+
+class BackendResolutionError(ValueError):
+    """No backend in the fallback chain can serve the task."""
+
+
+@dataclass(frozen=True)
+class ReplicationBlock:
+    """A picklable block of replications of one cell, run by one backend.
+
+    Blocks distribute over the process pool like individual ``RunTask``
+    objects, but each block amortises the chunk-schedule precomputation
+    (and, for the batch kernel, samples its chunk times in bulk).  Two
+    seeding styles exist, mirroring the two pooled-block backends:
+
+    * ``seed_entropies`` — one entropy tuple per replication, derived
+      exactly as ``expand_replications`` derives them (MSG fast path);
+      the block partitioning cannot affect results.
+    * ``seed_entropy`` — one entropy tuple for the whole block, whose
+      RNG stream the batch kernel consumes in bulk (direct-batch).
+    """
+
+    backend: str
+    task: "RunTask"
+    runs: int
+    seed_entropy: tuple[int, ...] | None = None
+    seed_entropies: tuple[tuple[int, ...], ...] | None = None
+
+    def execute(self) -> list["RunResult"]:
+        from .registry import get_backend
+
+        return get_backend(self.backend).run_block(self)
+
+
+class SimulationBackend(ABC):
+    """One execution substrate for :class:`RunTask` objects.
+
+    Subclasses declare their identity and capabilities as class
+    attributes and implement :meth:`run`; backends supporting pooled
+    block execution additionally implement :meth:`replication_blocks`
+    and :meth:`run_block`.
+    """
+
+    #: registry name; the value of ``RunTask.simulator`` / CLI ``--simulator``
+    name: ClassVar[str] = ""
+    #: one-line description for ``repro-dls backends`` and the docs
+    description: ClassVar[str] = ""
+    #: what this backend can simulate
+    capabilities: ClassVar[BackendCapabilities] = BackendCapabilities()
+    #: registry name of the backend dispatch degrades to when this one
+    #: cannot serve a task (None = resolution fails instead)
+    fallback: ClassVar[str | None] = None
+    #: namespace used for derived seed entropy.  Backends that are
+    #: bit-identical to another backend share its namespace so un-seeded
+    #: tasks derive the same seeds on both (e.g. msg-fast uses "msg").
+    entropy_namespace: ClassVar[str] = ""
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.name and not cls.entropy_namespace:
+            cls.entropy_namespace = cls.name
+
+    # -- capability checking ---------------------------------------------
+    def unsupported_reason(self, task: "RunTask") -> str | None:
+        """Why this backend cannot serve ``task`` (None = it can).
+
+        The generic check compares the task's requirements against
+        :attr:`capabilities`; backends with additional constraints
+        extend it.  The returned string feeds :class:`FallbackEvent`
+        reasons and the documentation's fallback semantics.
+        """
+        from ..core.registry import get_technique
+        from ..core.schedule import schedule_ineligibility
+
+        caps = self.capabilities
+        cls = get_technique(task.technique)
+        schedule_reason = schedule_ineligibility(cls)
+        if schedule_reason is not None:
+            if cls.adaptive and not caps.adaptive_techniques:
+                return schedule_reason
+            if not cls.deterministic_schedule and (
+                not caps.nondeterministic_schedules
+            ):
+                return schedule_reason
+        if task.platform is not None and not caps.platforms:
+            return (
+                "platform-aware network modelling is not supported by "
+                f"the {self.name!r} backend"
+            )
+        if task.speeds is not None and not caps.per_worker_speeds:
+            return (
+                f"the {self.name!r} backend takes no per-worker speeds "
+                "(model them as host speeds on a platform)"
+            )
+        if task.start_times is not None and not caps.staggered_starts:
+            return (
+                "staggered start times are not supported by the "
+                f"{self.name!r} backend"
+            )
+        return None
+
+    @staticmethod
+    def task_key(task: "RunTask") -> str:
+        """A compact human-readable cell identifier for fallback events."""
+        return (
+            f"{task.technique}(n={task.params.n}, p={task.params.p})"
+        )
+
+    # -- execution --------------------------------------------------------
+    @abstractmethod
+    def run(self, task: "RunTask", seed: np.random.SeedSequence) -> "RunResult":
+        """Execute one run of ``task`` under ``seed``."""
+
+    def replication_blocks(
+        self, task: "RunTask", runs: int, campaign_seed: int | None
+    ) -> list[ReplicationBlock] | None:
+        """Split ``runs`` replications into pooled blocks, or None.
+
+        Returning None sends the replications down the per-run path
+        (``expand_replications`` + per-task execution).  Only called
+        after the task has resolved to this backend, so implementations
+        may assume :meth:`unsupported_reason` returned None.
+        """
+        return None
+
+    def run_block(self, block: ReplicationBlock) -> list["RunResult"]:
+        """Execute one replication block produced by this backend."""
+        raise NotImplementedError(
+            f"backend {self.name!r} does not execute replication blocks"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,262 @@
+"""The four built-in simulation backends.
+
+Each backend wraps one execution substrate behind the uniform
+:class:`~repro.backends.base.SimulationBackend` interface:
+
+* ``msg`` — the event-driven SimGrid-MSG-like master-worker stack; the
+  most capable backend and the terminal fallback of the MSG family.
+* ``msg-fast`` — the compiled MSG fast path, bit-identical to ``msg``
+  for closed-form techniques; degrades to ``msg`` otherwise.
+* ``direct`` — the scalar Hagerup-style chunk-level simulator.
+* ``direct-batch`` — the vectorized batch-replication kernel; degrades
+  to ``direct`` for techniques without a precomputable schedule.
+
+The run/seed semantics are exactly those the dispatch chains in
+``runner.py`` used before the registry existed, so results are
+bit-identical to the pre-registry code paths (enforced by
+``tests/test_batch_kernel.py`` and ``tests/test_fastpath_msg.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..core.params import SchedulingParams
+from ..core.registry import get_technique
+from .base import (
+    BATCH_BLOCK_RUNS,
+    BackendCapabilities,
+    ReplicationBlock,
+    SimulationBackend,
+)
+from .registry import register_backend
+
+if TYPE_CHECKING:
+    from ..core.base import Scheduler
+    from ..experiments.runner import RunTask
+    from ..results import RunResult
+
+
+def _scheduler_factory(
+    task: "RunTask",
+) -> Callable[[SchedulingParams], "Scheduler"]:
+    cls = get_technique(task.technique)
+    kwargs = task.technique_kwargs
+    return lambda params: cls(params, **kwargs)
+
+
+def _spawned_entropies(
+    campaign_seed: int | None, count: int
+) -> list[tuple[int, ...]]:
+    """Per-child entropy tuples, exactly as ``expand_replications``."""
+    seeds = np.random.SeedSequence(campaign_seed).spawn(count)
+    return [
+        tuple(int(v) for v in np.atleast_1d(seq.entropy))
+        + tuple(seq.spawn_key)
+        for seq in seeds
+    ]
+
+
+class _MsgBackendBase(SimulationBackend):
+    """Shared construction of the master-worker simulation."""
+
+    simulation_cls: type
+
+    def _simulation(self, task: "RunTask"):
+        from ..simgrid.masterworker import MasterWorkerConfig
+
+        config = MasterWorkerConfig(
+            overhead_model=task.overhead_model,
+            start_times=(
+                list(task.start_times) if task.start_times else None
+            ),
+        )
+        return self.simulation_cls(
+            task.params, task.workload, platform=task.platform, config=config
+        )
+
+    def run(
+        self, task: "RunTask", seed: np.random.SeedSequence
+    ) -> "RunResult":
+        return self._simulation(task).run(_scheduler_factory(task), seed)
+
+
+@register_backend
+class MsgBackend(_MsgBackendBase):
+    """The event-driven MSG simulator (the reference substrate)."""
+
+    name = "msg"
+    description = "event-driven SimGrid-MSG-like master-worker simulator"
+    capabilities = BackendCapabilities(
+        adaptive_techniques=True,
+        nondeterministic_schedules=True,
+        contention=True,
+        platforms=True,
+        per_worker_speeds=False,
+        staggered_starts=True,
+        max_events=True,
+        pooled_blocks=False,
+    )
+    fallback = None
+
+    @property
+    def simulation_cls(self):
+        from ..simgrid.masterworker import MasterWorkerSimulation
+
+        return MasterWorkerSimulation
+
+
+@register_backend
+class MsgFastBackend(_MsgBackendBase):
+    """The compiled MSG fast path (bit-identical to ``msg``)."""
+
+    name = "msg-fast"
+    description = "compiled MSG master-worker loop (bit-identical to msg)"
+    capabilities = BackendCapabilities(
+        adaptive_techniques=False,
+        nondeterministic_schedules=False,
+        contention=False,
+        platforms=True,
+        per_worker_speeds=False,
+        staggered_starts=True,
+        max_events=False,
+        pooled_blocks=True,
+    )
+    fallback = "msg"
+    #: bit-identical to msg, so un-seeded tasks derive the same seeds on
+    #: both — the equality is visible even for single un-seeded tasks
+    entropy_namespace = "msg"
+
+    @property
+    def simulation_cls(self):
+        from ..simgrid.fastpath import FastMasterWorkerSimulation
+
+        return FastMasterWorkerSimulation
+
+    def replication_blocks(
+        self, task: "RunTask", runs: int, campaign_seed: int | None
+    ) -> list[ReplicationBlock]:
+        """Consecutive blocks that share one schedule precomputation.
+
+        Per-run seed entropies are derived exactly as
+        ``expand_replications`` derives them, so the block partitioning
+        cannot affect results — every run keeps its own seed.
+        """
+        entropies = _spawned_entropies(campaign_seed, runs)
+        return [
+            ReplicationBlock(
+                backend=self.name,
+                task=task,
+                runs=len(entropies[i:i + BATCH_BLOCK_RUNS]),
+                seed_entropies=tuple(entropies[i:i + BATCH_BLOCK_RUNS]),
+            )
+            for i in range(0, runs, BATCH_BLOCK_RUNS)
+        ]
+
+    def run_block(self, block: ReplicationBlock) -> list["RunResult"]:
+        sim = self._simulation(block.task)
+        seeds = [
+            np.random.SeedSequence(entropy=list(entropy))
+            for entropy in block.seed_entropies
+        ]
+        return sim.run_many(_scheduler_factory(block.task), seeds)
+
+
+@register_backend
+class DirectBackend(SimulationBackend):
+    """The scalar Hagerup-style chunk-level simulator."""
+
+    name = "direct"
+    description = "scalar chunk-level simulator (Hagerup-style heap loop)"
+    capabilities = BackendCapabilities(
+        adaptive_techniques=True,
+        nondeterministic_schedules=True,
+        contention=False,
+        platforms=False,
+        per_worker_speeds=True,
+        staggered_starts=True,
+        max_events=False,
+        pooled_blocks=False,
+    )
+    fallback = None
+
+    def run(
+        self, task: "RunTask", seed: np.random.SeedSequence
+    ) -> "RunResult":
+        from ..directsim import DirectSimulator
+
+        sim = DirectSimulator(
+            task.params,
+            task.workload,
+            overhead_model=task.overhead_model,
+            speeds=list(task.speeds) if task.speeds else None,
+            start_times=(
+                list(task.start_times) if task.start_times else None
+            ),
+        )
+        return sim.run(_scheduler_factory(task), seed)
+
+
+@register_backend
+class DirectBatchBackend(SimulationBackend):
+    """The vectorized batch-replication kernel."""
+
+    name = "direct-batch"
+    description = "vectorized batch-replication kernel (NumPy argmin loop)"
+    capabilities = BackendCapabilities(
+        adaptive_techniques=False,
+        nondeterministic_schedules=False,
+        contention=False,
+        platforms=False,
+        per_worker_speeds=True,
+        staggered_starts=True,
+        max_events=False,
+        pooled_blocks=True,
+    )
+    fallback = "direct"
+
+    def _simulator(self, task: "RunTask"):
+        from ..directsim.batch import BatchDirectSimulator
+
+        return BatchDirectSimulator(
+            task.params,
+            task.workload,
+            overhead_model=task.overhead_model,
+            speeds=list(task.speeds) if task.speeds else None,
+            start_times=(
+                list(task.start_times) if task.start_times else None
+            ),
+        )
+
+    def run(
+        self, task: "RunTask", seed: np.random.SeedSequence
+    ) -> "RunResult":
+        return self._simulator(task).run_batch(
+            _scheduler_factory(task), 1, seed
+        )[0]
+
+    def replication_blocks(
+        self, task: "RunTask", runs: int, campaign_seed: int | None
+    ) -> list[ReplicationBlock]:
+        """Fixed-size blocks, each with one spawned block-level seed."""
+        counts = [BATCH_BLOCK_RUNS] * (runs // BATCH_BLOCK_RUNS)
+        if runs % BATCH_BLOCK_RUNS:
+            counts.append(runs % BATCH_BLOCK_RUNS)
+        entropies = _spawned_entropies(campaign_seed, len(counts))
+        return [
+            ReplicationBlock(
+                backend=self.name,
+                task=task,
+                runs=count,
+                seed_entropy=entropy,
+            )
+            for count, entropy in zip(counts, entropies)
+        ]
+
+    def run_block(self, block: ReplicationBlock) -> list["RunResult"]:
+        seed = np.random.SeedSequence(entropy=list(block.seed_entropy))
+        return self._simulator(block.task).run_batch(
+            _scheduler_factory(block.task), block.runs, seed
+        )

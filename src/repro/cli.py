@@ -5,8 +5,13 @@ Subcommands::
     repro-dls list                         # the paper's artifacts
     repro-dls run fig5 --runs 10           # regenerate one artifact
     repro-dls techniques                   # registered DLS techniques
+    repro-dls backends                     # simulation backends + fallbacks
     repro-dls schedule --technique gss --n 1000 --p 4
     repro-dls simulate --technique fac2 --n 4096 --p 16 --dist exponential
+
+The ``--simulator`` choices everywhere are the registered simulation
+backends (:mod:`repro.backends`); an unknown name fails with the list of
+registered backends.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import sys
 from typing import Sequence
 
 from . import __version__
+from .backends import backend_names
 from .core.base import chunk_sizes
 from .core.params import SchedulingParams
 from .core.registry import get_technique, iter_techniques
@@ -39,17 +45,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--runs", type=int, default=None,
                      help="replications (default: experiment-specific)")
     run.add_argument("--simulator",
-                     choices=("msg", "msg-fast", "direct", "direct-batch"),
+                     choices=backend_names(),
                      default=None,
-                     help="simulator backend for the BOLD experiments "
-                          "(direct-batch = vectorized replication kernel, "
-                          "msg-fast = compiled MSG master-worker loop)")
+                     help="registered simulation backend (see "
+                          "`repro-dls backends`); requests the backend "
+                          "cannot serve degrade along its declared "
+                          "fallback chain and are reported")
     run.add_argument("--seed", type=int, default=None, help="campaign seed")
     run.add_argument("--workers", type=int, default=None,
                      help="replication process-pool size (default: "
                           "REPRO_WORKERS env var or CPU count)")
 
     sub.add_parser("techniques", help="list DLS techniques and requirements")
+
+    sub.add_parser(
+        "backends",
+        help="list simulation backends, capabilities and fallback chains",
+    )
 
     sched = sub.add_parser(
         "schedule", help="print the chunk sizes a technique produces"
@@ -78,8 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     simu.add_argument("--mean", type=float, default=1.0)
     simu.add_argument("--runs", type=int, default=1)
     simu.add_argument("--seed", type=int, default=0)
-    simu.add_argument("--simulator", choices=("msg", "msg-fast", "direct"),
-                      default="msg")
+    simu.add_argument("--simulator", choices=backend_names(), default="msg")
 
     rec = sub.add_parser(
         "recommend",
@@ -103,9 +114,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="drastically reduced run counts (smoke-test scale)",
     )
     campaign.add_argument(
-        "--simulator", choices=("msg", "msg-fast", "direct", "direct-batch"),
-        default="msg",
-        help="simulator backend for the BOLD experiments",
+        "--simulator", choices=backend_names(), default="msg",
+        help="registered simulation backend for the BOLD experiments",
     )
     campaign.add_argument(
         "--workers", type=int, default=None,
@@ -162,8 +172,8 @@ def _cmd_list() -> int:
 _RUN_KNOBS: dict[str, frozenset[str]] = {
     "table2": frozenset(),
     "table3": frozenset(),
-    "fig3": frozenset({"seed"}),
-    "fig4": frozenset({"seed"}),
+    "fig3": frozenset({"simulator", "seed"}),
+    "fig4": frozenset({"simulator", "seed"}),
     "fig5": frozenset({"runs", "simulator", "seed", "processes"}),
     "fig6": frozenset({"runs", "simulator", "seed", "processes"}),
     "fig7": frozenset({"runs", "simulator", "seed", "processes"}),
@@ -205,6 +215,21 @@ def _cmd_techniques() -> int:
     return 0
 
 
+def _cmd_backends() -> int:
+    from .backends import capability_names, iter_backends
+
+    for backend in iter_backends():
+        caps = ", ".join(
+            name for name in capability_names()
+            if getattr(backend.capabilities, name)
+        ) or "-"
+        fallback = backend.fallback or "-"
+        print(f"{backend.name:12s} fallback: {fallback}")
+        print(f"{'':12s} {backend.description}")
+        print(f"{'':12s} capabilities: {caps}")
+    return 0
+
+
 def _params_from_args(args: argparse.Namespace) -> SchedulingParams:
     return SchedulingParams(
         n=args.n,
@@ -227,10 +252,11 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    import dataclasses
     import statistics
 
-    from .directsim import DirectSimulator
-    from .simgrid import FastMasterWorkerSimulation, MasterWorkerSimulation
+    from .backends import drain_fallback_events
+    from .experiments.runner import RunTask
     from .workloads import (
         ConstantWorkload,
         ExponentialWorkload,
@@ -245,20 +271,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "uniform": lambda: UniformWorkload(0.0, 2 * args.mean),
         "gamma": lambda: GammaWorkload(2.0, args.mean / 2.0),
     }[args.dist]()
-    factory = lambda p: get_technique(args.technique)(p)
-    if args.simulator == "direct":
-        sim = DirectSimulator(params, workload)
-    elif args.simulator == "msg-fast":
-        sim = FastMasterWorkerSimulation(params, workload)
-    else:
-        sim = MasterWorkerSimulation(params, workload)
-    results = [sim.run(factory, seed=args.seed + i) for i in range(args.runs)]
+    # Which simulator executes is decided by the backend registry's
+    # capability-checked resolution (repro.backends), not here; the
+    # per-run integer seeds reproduce the historical CLI outputs
+    # (SeedSequence(entropy=[s]) equals SeedSequence(s)).
+    task = RunTask(
+        technique=args.technique,
+        params=params,
+        workload=workload,
+        simulator=args.simulator,
+    )
+    drain_fallback_events()
+    results = [
+        dataclasses.replace(task, seed_entropy=(args.seed + i,)).execute()
+        for i in range(args.runs)
+    ]
     awt = [r.average_wasted_time for r in results]
     sp = [r.speedup for r in results]
     print(
         f"{results[0].technique} on {args.simulator}: "
         f"n={args.n}, p={args.p}, {args.runs} run(s)"
     )
+    for event in drain_fallback_events():
+        print(f"  note: {event.describe()}")
     print(f"  makespan           : {statistics.mean(r.makespan for r in results):.4f} s")
     print(f"  avg wasted time    : {statistics.mean(awt):.4f} s")
     print(f"  speedup            : {statistics.mean(sp):.3f} (ideal {args.p})")
@@ -371,6 +406,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "techniques":
         return _cmd_techniques()
+    if args.command == "backends":
+        return _cmd_backends()
     if args.command == "schedule":
         return _cmd_schedule(args)
     if args.command == "simulate":

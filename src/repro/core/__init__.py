@@ -2,6 +2,13 @@
 
 from .params import SchedulingParams, weights_from_speeds
 from .base import ChunkRecord, Scheduler, SchedulerState, chunk_sizes
+from .schedule import (
+    PrecomputedSchedule,
+    ScheduleUnavailableError,
+    closed_form_supported,
+    precompute_schedule,
+    schedule_ineligibility,
+)
 from .prediction import (
     Prediction,
     predict,
@@ -19,7 +26,12 @@ from .registry import (
 
 __all__ = [
     "Prediction",
+    "PrecomputedSchedule",
+    "ScheduleUnavailableError",
     "SchedulingParams",
+    "closed_form_supported",
+    "precompute_schedule",
+    "schedule_ineligibility",
     "predict",
     "predict_all",
     "prediction_report",

@@ -1,0 +1,96 @@
+"""Shared closed-form chunk-schedule precomputation.
+
+Both fast paths — the vectorized batch kernel
+(:mod:`repro.directsim.batch`) and the compiled MSG loop
+(:mod:`repro.simgrid.fastpath`) — rest on the same precondition: the
+technique's chunk sequence must be a pure function of ``(n, p, params)``
+so it can be computed once via :meth:`~repro.core.base.Scheduler.
+chunk_schedule` and replayed across replications.  This module holds the
+single eligibility predicate and the precomputation helper they share,
+so the two fast paths cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Scheduler
+from .registry import get_technique
+
+
+class ScheduleUnavailableError(ValueError):
+    """The technique's chunk sequence cannot be precomputed."""
+
+
+def _technique_class(
+    technique: str | Scheduler | type[Scheduler],
+) -> type[Scheduler]:
+    if isinstance(technique, str):
+        return get_technique(technique)
+    if isinstance(technique, Scheduler):
+        return type(technique)
+    return technique
+
+
+def schedule_ineligibility(
+    technique: str | Scheduler | type[Scheduler],
+) -> str | None:
+    """Why ``technique``'s schedule cannot be precomputed (None = it can).
+
+    The single predicate behind both fast paths: a technique qualifies
+    when its chunk sequence is deterministic in ``(n, p, params)`` —
+    independent of worker identity, request timing and measured
+    execution times — and it is not adaptive.  The returned string is a
+    short human-readable reason, used by fallback events and the docs'
+    eligibility matrix.
+    """
+    cls = _technique_class(technique)
+    if cls.adaptive:
+        return "adaptive technique: chunk sizes depend on measured times"
+    if not cls.deterministic_schedule:
+        return "no precomputable chunk schedule for this technique"
+    return None
+
+
+def closed_form_supported(
+    technique: str | Scheduler | type[Scheduler],
+) -> bool:
+    """True when ``technique``'s chunk schedule can be precomputed."""
+    return schedule_ineligibility(technique) is None
+
+
+@dataclass(frozen=True)
+class PrecomputedSchedule:
+    """One cell's chunk schedule, computed once and replayed per run."""
+
+    label: str
+    sizes: np.ndarray      # int64 chunk sizes, summing to n
+    starts: np.ndarray     # int64 first-task index of each chunk
+
+    @property
+    def num_chunks(self) -> int:
+        return int(self.sizes.size)
+
+
+def precompute_schedule(scheduler: Scheduler) -> PrecomputedSchedule:
+    """The ``(label, sizes, starts)`` triple both fast paths replay.
+
+    ``scheduler`` must be fresh; raises :class:`ScheduleUnavailableError`
+    when the technique has no closed-form schedule.
+    """
+    if scheduler.state.scheduled_chunks:
+        raise ValueError(
+            "scheduler has already been used; pass a fresh one"
+        )
+    label = scheduler.label or scheduler.name
+    sizes = scheduler.chunk_schedule()
+    if sizes is None:
+        raise ScheduleUnavailableError(
+            f"{label or type(scheduler).__name__} has no precomputable "
+            f"chunk schedule; use a scalar simulator"
+        )
+    return PrecomputedSchedule(
+        label=label, sizes=sizes, starts=np.cumsum(sizes) - sizes
+    )

@@ -40,7 +40,11 @@ import numpy as np
 
 from ..core.base import Scheduler
 from ..core.params import SchedulingParams
-from ..core.registry import get_technique
+from ..core.schedule import (
+    ScheduleUnavailableError,
+    closed_form_supported,
+    precompute_schedule,
+)
 from ..results import RunResult
 from ..workloads.distributions import Workload
 from ..workloads.generator import make_rng
@@ -54,18 +58,15 @@ DEFAULT_MAX_BLOCK_ELEMENTS = 1 << 24
 def batch_supported(technique: str | type[Scheduler]) -> bool:
     """True when ``technique`` can run on the batch kernel.
 
-    A technique qualifies when its chunk sequence is deterministic in
-    ``(n, p, params)`` — independent of worker identity, request timing
-    and measured execution times — and it is not adaptive.
+    Thin alias of the shared eligibility predicate
+    (:func:`repro.core.schedule.closed_form_supported`) — the batch
+    kernel and the MSG fast path share one precondition.
     """
-    cls = (
-        get_technique(technique) if isinstance(technique, str) else technique
-    )
-    return bool(cls.deterministic_schedule) and not cls.adaptive
+    return closed_form_supported(technique)
 
 
-class BatchScheduleUnavailableError(ValueError):
-    """The technique's chunk sequence cannot be precomputed."""
+#: backward-compatible alias: the shared precomputation error
+BatchScheduleUnavailableError = ScheduleUnavailableError
 
 
 class BatchDirectSimulator:
@@ -130,18 +131,8 @@ class BatchDirectSimulator:
             raise ValueError("reps must be >= 1")
         if not isinstance(scheduler, Scheduler):
             scheduler = scheduler(self.params)
-        if scheduler.state.scheduled_chunks:
-            raise ValueError(
-                "scheduler has already been used; pass a fresh one"
-            )
-        label = scheduler.label or scheduler.name
-        sizes = scheduler.chunk_schedule()
-        if sizes is None:
-            raise BatchScheduleUnavailableError(
-                f"{label or type(scheduler).__name__} has no precomputable "
-                f"chunk schedule; use the scalar DirectSimulator"
-            )
-        starts = np.cumsum(sizes) - sizes
+        schedule = precompute_schedule(scheduler)
+        label, starts, sizes = schedule.label, schedule.starts, schedule.sizes
         rng = make_rng(seed)
 
         block = max(1, self.max_block_elements // max(1, sizes.size))

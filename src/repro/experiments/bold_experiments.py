@@ -19,12 +19,13 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..backends import FallbackEvent, drain_fallback_events, get_backend
 from ..core.params import SchedulingParams
 from ..metrics.discrepancy import DiscrepancyRow, discrepancy_table
 from ..metrics.summary import Summary, mean_excluding_above, summarize
 from ..metrics.wasted_time import OverheadModel
 from ..workloads.distributions import ExponentialWorkload
-from .runner import RunTask, SimulatorKind, run_replicated
+from .runner import RunTask, run_replicated
 
 #: the eight techniques of the BOLD publication, in the paper's order
 BOLD_TECHNIQUES = ("STAT", "SS", "FSC", "GSS", "TSS", "FAC", "FAC2", "BOLD")
@@ -64,6 +65,9 @@ class BoldExperimentResult:
     simulator: str
     values: dict[str, list[float]] = field(default_factory=dict)
     summaries: dict[str, list[Summary]] = field(default_factory=dict)
+    #: capability degradations recorded while running (e.g. direct-batch
+    #: -> direct for the adaptive BOLD technique) — never silent
+    fallbacks: list[FallbackEvent] = field(default_factory=list)
 
     def value(self, technique: str, p: int) -> float:
         return self.values[technique][self.pe_counts.index(p)]
@@ -74,11 +78,19 @@ def run_bold_experiment(
     pe_counts: Sequence[int] = BOLD_PE_COUNTS,
     techniques: Sequence[str] = BOLD_TECHNIQUES,
     runs: int | None = None,
-    simulator: SimulatorKind = "msg",
+    simulator: str = "msg",
     seed: int = 2017,
     processes: int | None = None,
 ) -> BoldExperimentResult:
-    """Reproduce one of the four n-task experiments (Figures 5-8 a/b)."""
+    """Reproduce one of the four n-task experiments (Figures 5-8 a/b).
+
+    ``simulator`` names a registered backend; cells the backend cannot
+    serve degrade along its declared fallback chain, and the recorded
+    :class:`~repro.backends.FallbackEvent` objects are attached to the
+    result (``result.fallbacks``) and surfaced in the ``fig5``-``fig8``
+    reports.
+    """
+    get_backend(simulator)  # fail fast on unknown backends
     if runs is None:
         runs = default_runs(n)
     workload = ExponentialWorkload(BOLD_MU)
@@ -89,6 +101,7 @@ def run_bold_experiment(
         runs=runs,
         simulator=simulator,
     )
+    drain_fallback_events()  # scope the log to this experiment
     for technique in techniques:
         means: list[float] = []
         summaries: list[Summary] = []
@@ -111,6 +124,7 @@ def run_bold_experiment(
             summaries.append(summary)
         result.values[technique] = means
         result.summaries[technique] = summaries
+    result.fallbacks = drain_fallback_events()
     return result
 
 
@@ -134,6 +148,7 @@ class FacOutlierResult:
     mean: float
     mean_excluding: float
     num_above: int
+    fallbacks: tuple[FallbackEvent, ...] = ()
 
     @property
     def fraction_above(self) -> float:
@@ -145,7 +160,7 @@ def fac_outlier_study(
     p: int = 2,
     runs: int = 1000,
     threshold: float = 400.0,
-    simulator: SimulatorKind = "direct",
+    simulator: str = "direct",
     seed: int = 1997,
     technique: str = "fac",
     processes: int | None = None,
@@ -155,6 +170,7 @@ def fac_outlier_study(
     The paper observes 15 of 1,000 runs above 400 s (1.5 %) and an
     outlier-excluded mean of 25.82 s.
     """
+    get_backend(simulator)  # fail fast on unknown backends
     task = RunTask(
         technique=technique,
         params=scheduling_params(n, p),
@@ -162,6 +178,7 @@ def fac_outlier_study(
         simulator=simulator,
         overhead_model=OverheadModel.POST_HOC,
     )
+    drain_fallback_events()  # scope the log to this study
     results = run_replicated(task, runs, campaign_seed=seed,
                              processes=processes)
     per_run = [r.average_wasted_time for r in results]
@@ -171,6 +188,7 @@ def fac_outlier_study(
         n=n, p=p, runs=runs, threshold=threshold,
         per_run=per_run, mean=mean,
         mean_excluding=mean_excl, num_above=num_above,
+        fallbacks=tuple(drain_fallback_events()),
     )
 
 

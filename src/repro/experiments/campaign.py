@@ -30,14 +30,19 @@ def run_full_campaign(
 
     ``out`` defaults to stdout.  ``campaign_runs`` maps BOLD task counts
     to replication counts (missing task counts are skipped).
-    ``simulator`` selects the backend for the BOLD experiments
-    (``"direct-batch"`` takes the vectorized kernel where possible).
-    ``workers`` sizes the replication process pool; it defaults to the
-    ``REPRO_WORKERS`` environment variable or the CPU count.
+    ``simulator`` names a registered simulation backend
+    (``repro.backends.backend_names()``) for the BOLD experiments;
+    requests it cannot serve degrade along its declared fallback chain
+    and the degradations are reported per figure.  ``workers`` sizes the
+    replication process pool; it defaults to the ``REPRO_WORKERS``
+    environment variable or the CPU count.
     """
     import sys
 
+    from ..backends import get_backend
     from .descriptors import EXPERIMENTS
+
+    get_backend(simulator)  # fail fast on unknown backends
 
     stream = out if out is not None else sys.stdout
 

@@ -21,6 +21,15 @@ class ExperimentDescriptor:
     run: Callable[..., str]   # returns a printable report
 
 
+def _fallback_lines(events) -> list[str]:
+    """Report lines for recorded backend degradations (empty if none)."""
+    if not events:
+        return []
+    lines = ["", "Backend fallbacks (requested backend could not serve):"]
+    lines.extend(f"  {event.describe()}" for event in events)
+    return lines
+
+
 def _run_table2(**kwargs) -> str:
     from .tables import format_table2, table2_matches_publication
 
@@ -80,6 +89,7 @@ def _run_bold(n: int, **kwargs) -> str:
                 f"{d:8.1f}" for d in row.relative_discrepancies
             )
             lines.append(f"  {row.technique:>5}: {cells}")
+    lines.extend(_fallback_lines(result.fallbacks))
     return "\n".join(lines)
 
 
@@ -102,6 +112,7 @@ def _run_fig9(**kwargs) -> str:
             "per-run distribution (log-scaled bars):",
             ascii_histogram(study.per_run, log_counts=True),
         ]
+        + _fallback_lines(study.fallbacks)
     )
 
 

@@ -66,6 +66,7 @@ class CampaignRecord:
                 "n": result.n,
                 "runs": result.runs,
                 "simulator": result.simulator,
+                "fallbacks": [e.to_json() for e in result.fallbacks],
             },
         )
         self.add(series)

@@ -8,6 +8,14 @@ original measurement campaign ("the individual measurements were
 performed in parallel", Section V).  On a single-core machine the runner
 degrades to a sequential loop.
 
+Which simulator executes a task is *not* decided here: every task names a
+registered backend (:mod:`repro.backends`), and dispatch resolves it
+through the capability-checked fallback chain —
+``resolve_backend(task)`` returns the backend that will actually run,
+recording a :class:`~repro.backends.FallbackEvent` for every explicit
+degradation (e.g. ``direct-batch`` -> ``direct`` for an adaptive
+technique).  Campaign reports drain and surface those events.
+
 Two throughput layers compose here:
 
 * **Process-level parallelism** — tasks fan out over a persistent worker
@@ -15,11 +23,11 @@ Two throughput layers compose here:
   tuned chunksize.  The pool size defaults to ``os.cpu_count()`` and can
   be overridden with the ``REPRO_WORKERS`` environment variable or the
   ``processes`` argument (CLI: ``repro-dls campaign --workers``).
-* **Batch-level vectorisation** — tasks with ``simulator="direct-batch"``
-  route whole replication blocks through the vectorized kernel
-  (:mod:`repro.directsim.batch`) instead of one Python event loop per
-  replication, falling back to the scalar direct simulator for adaptive
-  techniques and worker-dependent schedules.
+* **Block-level batching** — backends declaring ``pooled_blocks``
+  (``direct-batch``, ``msg-fast``) split whole replication sweeps into
+  :class:`~repro.backends.ReplicationBlock` objects that amortise the
+  chunk-schedule precomputation (and, for the batch kernel, sample chunk
+  times in bulk) instead of paying one Python event loop per replication.
 """
 
 from __future__ import annotations
@@ -29,45 +37,55 @@ import hashlib
 import multiprocessing
 import os
 from dataclasses import dataclass, field
-from typing import Literal, Sequence
+from typing import Sequence
 
 import numpy as np
 
+from ..backends import (
+    BATCH_BLOCK_RUNS,
+    ReplicationBlock,
+    get_backend,
+    resolve_backend,
+)
 from ..core.params import SchedulingParams
-from ..core.registry import get_technique
-from ..directsim import DirectSimulator
 from ..metrics.wasted_time import OverheadModel
 from ..results import RunResult
-from ..simgrid.fastpath import FastMasterWorkerSimulation
-from ..simgrid.masterworker import MasterWorkerConfig, MasterWorkerSimulation
 from ..simgrid.platform import Platform
 from ..workloads.distributions import Workload
 
-SimulatorKind = Literal["msg", "msg-fast", "direct", "direct-batch"]
-
-#: replications per batched pool block.  Fixed (instead of derived from
-#: the worker count) so campaign results are deterministic in
-#: (task, runs, campaign_seed) regardless of how many processes execute.
-BATCH_BLOCK_RUNS = 64
+__all__ = [
+    "BATCH_BLOCK_RUNS",
+    "RunTask",
+    "expand_replications",
+    "resolve_workers",
+    "run_campaign",
+    "run_replicated",
+    "shutdown_pool",
+]
 
 
 @dataclass(frozen=True)
 class RunTask:
     """One independent simulation run, fully described by data.
 
+    ``simulator`` names a registered backend (see
+    ``repro.backends.backend_names()``); execution resolves it through
+    the capability-checked fallback chain.
+
     Seeding: ``seed_entropy`` holds the entropy of the run's
     ``numpy.random.SeedSequence``.  When it is left empty the seed is
     *derived deterministically from the task's own fields* (technique,
-    params, workload, simulator, ...), so executing the same task twice
-    always reproduces the same result — there is no silent fallback to
-    OS entropy.  Distinct replications of one cell must therefore carry
-    distinct explicit entropy (see :func:`expand_replications`).
+    params, workload, backend, platform, ...), so executing the same
+    task twice always reproduces the same result — there is no silent
+    fallback to OS entropy.  Distinct replications of one cell must
+    therefore carry distinct explicit entropy (see
+    :func:`expand_replications`).
     """
 
     technique: str
     params: SchedulingParams
     workload: Workload
-    simulator: SimulatorKind = "msg"
+    simulator: str = "msg"
     overhead_model: OverheadModel = OverheadModel.POST_HOC
     platform: Platform | None = None
     speeds: tuple[float, ...] | None = None
@@ -75,22 +93,36 @@ class RunTask:
     technique_kwargs: dict = field(default_factory=dict)
     seed_entropy: tuple[int, ...] = ()
 
+    def _platform_key(self) -> str:
+        """A content-based key for the platform (stable across processes).
+
+        The default ``object`` repr would embed a memory address, so the
+        platform enters the seed key through its XML serialisation.
+        """
+        if self.platform is None:
+            return "None"
+        from ..simgrid.xmlio import platform_to_xml
+
+        return platform_to_xml(self.platform)
+
     def derived_entropy(self) -> tuple[int, ...]:
         """Deterministic seed entropy from the task's own fields.
 
         Used when ``seed_entropy`` is empty; stable across processes and
-        interpreter restarts (content hash, not ``hash()``).
+        interpreter restarts (content hash, not ``hash()``).  The
+        backend enters through its ``entropy_namespace`` — backends that
+        are bit-identical to another (msg-fast to msg) share its
+        namespace, so the equality is visible even for single un-seeded
+        tasks.
         """
         key = "|".join(
             (
                 self.technique,
                 repr(self.params),
                 repr(self.workload),
-                # msg-fast is bit-identical to msg; give it the same
-                # derived seeds so the equality is visible even for
-                # single un-seeded tasks.
-                "msg" if self.simulator == "msg-fast" else self.simulator,
+                get_backend(self.simulator).entropy_namespace,
                 self.overhead_model.value,
+                self._platform_key(),
                 repr(self.speeds),
                 repr(self.start_times),
                 repr(sorted(self.technique_kwargs.items())),
@@ -107,119 +139,16 @@ class RunTask:
         return np.random.SeedSequence(entropy=list(entropy))
 
     def execute(self) -> RunResult:
-        """Run this task and return its result."""
-        factory = lambda params: get_technique(self.technique)(
-            params, **self.technique_kwargs
-        )
-        seed = self.seed_sequence()
-        if self.simulator == "direct-batch":
-            from ..directsim.batch import BatchDirectSimulator, batch_supported
-
-            if batch_supported(self.technique):
-                sim = BatchDirectSimulator(
-                    self.params,
-                    self.workload,
-                    overhead_model=self.overhead_model,
-                    speeds=list(self.speeds) if self.speeds else None,
-                    start_times=(
-                        list(self.start_times) if self.start_times else None
-                    ),
-                )
-                return sim.run_batch(factory, 1, seed)[0]
-            # Adaptive / worker-dependent technique: scalar fallback.
-        if self.simulator in ("direct", "direct-batch"):
-            sim = DirectSimulator(
-                self.params,
-                self.workload,
-                overhead_model=self.overhead_model,
-                speeds=list(self.speeds) if self.speeds else None,
-                start_times=list(self.start_times) if self.start_times else None,
-            )
-            return sim.run(factory, seed)
-        config = MasterWorkerConfig(
-            overhead_model=self.overhead_model,
-            start_times=list(self.start_times) if self.start_times else None,
-        )
-        sim_cls = (
-            FastMasterWorkerSimulation
-            if self.simulator == "msg-fast"
-            else MasterWorkerSimulation
-        )
-        sim = sim_cls(
-            self.params, self.workload, platform=self.platform, config=config
-        )
-        return sim.run(factory, seed)
-
-
-@dataclass(frozen=True)
-class BatchRunBlock:
-    """A block of replications of one cell, executed by the batch kernel.
-
-    Picklable, so blocks distribute over the process pool just like
-    individual :class:`RunTask` objects — but each block amortises the
-    schedule precomputation and samples its chunk times in bulk.
-    """
-
-    task: RunTask
-    runs: int
-    seed_entropy: tuple[int, ...]
-
-    def execute(self) -> list[RunResult]:
-        from ..directsim.batch import BatchDirectSimulator
-
-        task = self.task
-        factory = lambda params: get_technique(task.technique)(
-            params, **task.technique_kwargs
-        )
-        sim = BatchDirectSimulator(
-            task.params,
-            task.workload,
-            overhead_model=task.overhead_model,
-            speeds=list(task.speeds) if task.speeds else None,
-            start_times=list(task.start_times) if task.start_times else None,
-        )
-        seed = np.random.SeedSequence(entropy=list(self.seed_entropy))
-        return sim.run_batch(factory, self.runs, seed)
-
-
-@dataclass(frozen=True)
-class MsgRunBlock:
-    """A block of MSG fast-path replications of one cell.
-
-    Carries the *per-run* seed entropies derived exactly as
-    :func:`expand_replications` derives them, so a blocked pooled
-    campaign is bit-identical to the serial per-task path — the block
-    partitioning only amortises the chunk-schedule precomputation
-    (``FastMasterWorkerSimulation.run_many``) and pickling overhead.
-    """
-
-    task: RunTask
-    seed_entropies: tuple[tuple[int, ...], ...]
-
-    def execute(self) -> list[RunResult]:
-        task = self.task
-        factory = lambda params: get_technique(task.technique)(
-            params, **task.technique_kwargs
-        )
-        config = MasterWorkerConfig(
-            overhead_model=task.overhead_model,
-            start_times=list(task.start_times) if task.start_times else None,
-        )
-        sim = FastMasterWorkerSimulation(
-            task.params, task.workload, platform=task.platform, config=config
-        )
-        seeds = [
-            np.random.SeedSequence(entropy=list(entropy))
-            for entropy in self.seed_entropies
-        ]
-        return sim.run_many(factory, seeds)
+        """Run this task on its resolved backend and return the result."""
+        backend = resolve_backend(self)
+        return backend.run(self, self.seed_sequence())
 
 
 def _execute_task(task: RunTask) -> RunResult:
     return task.execute()
 
 
-def _execute_indexed(item: tuple[int, RunTask | BatchRunBlock | MsgRunBlock]):
+def _execute_indexed(item: tuple[int, RunTask | ReplicationBlock]):
     index, task = item
     return index, task.execute()
 
@@ -268,7 +197,7 @@ def shutdown_pool() -> None:
 atexit.register(shutdown_pool)
 
 
-def _run_pooled(items: Sequence[RunTask | BatchRunBlock | MsgRunBlock],
+def _run_pooled(items: Sequence[RunTask | ReplicationBlock],
                 processes: int) -> list:
     """Execute items (in order) over the persistent pool."""
     pool = _get_pool(processes)
@@ -307,82 +236,38 @@ def run_campaign(tasks: Sequence[RunTask],
                  processes: int | None = None) -> list[RunResult]:
     """Execute tasks, parallelising over processes when it helps.
 
-    ``processes`` defaults to ``REPRO_WORKERS`` or the CPU count; with
-    one process (or one task) the loop stays in-process, avoiding
-    pickling overhead.  Results are returned in task order.
+    Every task's backend is resolved in the parent process first, so
+    unresolvable tasks fail fast and every capability degradation is
+    recorded here (worker processes keep their own, discarded, fallback
+    logs).  ``processes`` defaults to ``REPRO_WORKERS`` or the CPU
+    count; with one process (or one task) the loop stays in-process,
+    avoiding pickling overhead.  Results are returned in task order.
     """
+    for task in tasks:
+        resolve_backend(task)
     processes = resolve_workers(processes)
     if processes <= 1 or len(tasks) <= 1:
         return [task.execute() for task in tasks]
     return _run_pooled(tasks, processes)
 
 
-def _batch_blocks(task: RunTask, runs: int,
-                  campaign_seed: int | None) -> list[BatchRunBlock] | None:
-    """Split ``runs`` replications into batch-kernel blocks, or None when
-    the task cannot take the batched path."""
-    from ..directsim.batch import batch_supported
-
-    if task.simulator != "direct-batch":
-        return None
-    if not batch_supported(task.technique):
-        return None
-    counts = [BATCH_BLOCK_RUNS] * (runs // BATCH_BLOCK_RUNS)
-    if runs % BATCH_BLOCK_RUNS:
-        counts.append(runs % BATCH_BLOCK_RUNS)
-    seeds = np.random.SeedSequence(campaign_seed).spawn(len(counts))
-    blocks = []
-    for count, seq in zip(counts, seeds):
-        entropy = tuple(int(v) for v in np.atleast_1d(seq.entropy)) + tuple(
-            seq.spawn_key
-        )
-        blocks.append(BatchRunBlock(task=task, runs=count,
-                                    seed_entropy=entropy))
-    return blocks
-
-
-def _msg_blocks(task: RunTask, runs: int,
-                campaign_seed: int | None) -> list[MsgRunBlock] | None:
-    """Split ``runs`` msg-fast replications into pooled blocks, or None.
-
-    Per-run seed entropies are derived exactly as
-    :func:`expand_replications` derives them, then grouped into
-    consecutive blocks of :data:`BATCH_BLOCK_RUNS`; the grouping cannot
-    affect results because every run keeps its own seed.
-    """
-    if task.simulator != "msg-fast":
-        return None
-    seeds = np.random.SeedSequence(campaign_seed).spawn(runs)
-    entropies = [
-        tuple(int(v) for v in np.atleast_1d(seq.entropy)) + tuple(
-            seq.spawn_key
-        )
-        for seq in seeds
-    ]
-    return [
-        MsgRunBlock(
-            task=task,
-            seed_entropies=tuple(entropies[i:i + BATCH_BLOCK_RUNS]),
-        )
-        for i in range(0, runs, BATCH_BLOCK_RUNS)
-    ]
-
-
 def run_replicated(task: RunTask, runs: int, campaign_seed: int | None = None,
                    processes: int | None = None) -> list[RunResult]:
     """Convenience: expand replications of one task and run them.
 
-    For ``simulator="direct-batch"`` tasks whose technique supports the
-    vectorized kernel, replications execute in blocks of
-    :data:`BATCH_BLOCK_RUNS` (deterministic in the campaign seed,
-    independent of the worker count); ``simulator="msg-fast"`` tasks
-    similarly execute in blocks that share one chunk-schedule
-    precomputation per block.  Everything else takes the per-run scalar
-    path.
+    The task's backend is resolved once through the registry's fallback
+    chain (recording :class:`~repro.backends.FallbackEvent` objects for
+    any degradation).  Backends that support pooled block execution
+    (``direct-batch``, ``msg-fast``) split the replications into blocks
+    of :data:`BATCH_BLOCK_RUNS` (deterministic in the campaign seed,
+    independent of the worker count) that each amortise one
+    chunk-schedule precomputation; everything else takes the per-run
+    scalar path.
     """
-    blocks = _batch_blocks(task, runs, campaign_seed)
-    if blocks is None:
-        blocks = _msg_blocks(task, runs, campaign_seed)
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    backend = resolve_backend(task)
+    blocks = backend.replication_blocks(task, runs, campaign_seed)
     if blocks is not None:
         processes = resolve_workers(processes)
         if processes <= 1 or len(blocks) <= 1:

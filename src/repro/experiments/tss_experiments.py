@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..backends import get_backend
 from ..core.params import SchedulingParams
 from ..core.registry import get_technique
 from ..metrics.speedup import TzenNiMetrics, tzen_ni_metrics
@@ -99,13 +100,19 @@ def run_tss_experiment(
     latency: float = BBN_LATENCY,
     bandwidth: float = BBN_BANDWIDTH,
     seed: int = 1993,
+    simulator: str = "msg",
 ) -> TssExperimentResult:
     """Reproduce Figure 3b (experiment 1) or Figure 4b (experiment 2).
 
     The constant workload makes each run deterministic, so one run per
     (technique, p) point suffices — matching the original single
-    measurements.
+    measurements.  ``simulator`` names a registered backend (the
+    platform-aware MSG family; ``msg-fast`` is bit-identical to the
+    default and faster, since all five techniques are closed-form).
     """
+    from .runner import RunTask
+
+    get_backend(simulator)  # fail fast on unknown backends
     if experiment not in TSS_EXPERIMENTS:
         raise ValueError(
             f"experiment must be one of {sorted(TSS_EXPERIMENTS)}, "
@@ -123,14 +130,18 @@ def run_tss_experiment(
         speedups: list[float] = []
         metrics: list[TzenNiMetrics] = []
         for p in pe_counts:
-            params = SchedulingParams(n=spec["n"], p=p, h=0.0)
-            platform = bbn_gp1000_platform(
-                p, latency=latency, bandwidth=bandwidth
+            task = RunTask(
+                technique=name,
+                params=SchedulingParams(n=spec["n"], p=p, h=0.0),
+                workload=workload,
+                simulator=simulator,
+                platform=bbn_gp1000_platform(
+                    p, latency=latency, bandwidth=bandwidth
+                ),
+                technique_kwargs=dict(kwargs),
+                seed_entropy=(seed,),
             )
-            sim = MasterWorkerSimulation(params, workload, platform=platform)
-            factory = lambda pr, nm=name, kw=kwargs: get_technique(nm)(pr, **kw)
-            run = sim.run(factory, seed=seed)
-            m = tzen_ni_metrics(run)
+            m = tzen_ni_metrics(task.execute())
             speedups.append(m.speedup)
             metrics.append(m)
         result.speedups[label] = speedups

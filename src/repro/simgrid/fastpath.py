@@ -59,6 +59,7 @@ import numpy as np
 
 from ..core.base import ChunkRecord, Scheduler
 from ..core.params import SchedulingParams
+from ..core.schedule import precompute_schedule, schedule_ineligibility
 from ..metrics.wasted_time import OverheadModel
 from ..results import ChunkExecution, RunResult
 from ..workloads.generator import make_rng
@@ -70,18 +71,17 @@ def fastpath_ineligibility(
 ) -> str | None:
     """Why ``(scheduler, config)`` cannot take the fast path (None = can).
 
-    The returned string is a short human-readable reason, used by the
-    fallback log hook and the docs' eligibility matrix.
+    Config checks are local; the technique checks are the shared
+    closed-form predicate (:func:`repro.core.schedule.
+    schedule_ineligibility`) both fast paths use.  The returned string
+    is a short human-readable reason, used by the fallback log hook and
+    the docs' eligibility matrix.
     """
     if config.contention:
         return "contention: transfer times depend on concurrent flows"
     if config.max_events is not None:
         return "max_events budget: the fast path has no event counter"
-    if scheduler.adaptive:
-        return "adaptive technique: chunk sizes depend on measured times"
-    if not scheduler.deterministic_schedule:
-        return "no precomputable chunk schedule for this technique"
-    return None
+    return schedule_ineligibility(scheduler)
 
 
 class FastMasterWorkerSimulation(MasterWorkerSimulation):
@@ -108,18 +108,12 @@ class FastMasterWorkerSimulation(MasterWorkerSimulation):
         if fastpath_ineligibility(scheduler, self.config) is not None:
             self.last_run_fast = False
             return super().run(scheduler, seed)
-        if scheduler.state.scheduled_chunks:
-            raise ValueError("scheduler has already been used; pass a fresh one")
-        label = scheduler.label or scheduler.name
-        sizes = scheduler.chunk_schedule()
-        if sizes is None:  # pragma: no cover - guarded by eligibility
-            self.last_run_fast = False
-            return super().run(scheduler, seed)
+        schedule = precompute_schedule(scheduler)
         # Closed-form chunk_schedule leaves the instance untouched; mark
         # it consumed so reuse is rejected exactly as on the event path.
-        scheduler.state.scheduled_chunks = int(sizes.size)
+        scheduler.state.scheduled_chunks = schedule.num_chunks
         self.last_run_fast = True
-        return self._fast_run(label, sizes, make_rng(seed))
+        return self._fast_run(schedule, make_rng(seed))
 
     def run_many(
         self,
@@ -141,20 +135,15 @@ class FastMasterWorkerSimulation(MasterWorkerSimulation):
                 MasterWorkerSimulation.run(self, factory, seed)
                 for seed in seeds
             ]
-        label = probe.label or probe.name
-        sizes = probe.chunk_schedule()
-        if sizes is None:  # pragma: no cover - guarded by eligibility
-            self.last_run_fast = False
-            return [
-                MasterWorkerSimulation.run(self, factory, seed)
-                for seed in seeds
-            ]
+        schedule = precompute_schedule(probe)
         self.last_run_fast = True
-        return [self._fast_run(label, sizes, make_rng(seed)) for seed in seeds]
+        return [
+            self._fast_run(schedule, make_rng(seed)) for seed in seeds
+        ]
 
     # -- the compiled loop ------------------------------------------------
     def _fast_run(
-        self, label: str, sizes: np.ndarray, rng: np.random.Generator
+        self, schedule, rng: np.random.Generator
     ) -> RunResult:
         params, config = self.params, self.config
         p, h = params.p, params.h
@@ -162,8 +151,9 @@ class FastMasterWorkerSimulation(MasterWorkerSimulation):
         serialized = model is OverheadModel.SERIALIZED_MASTER
         per_worker = model is OverheadModel.PER_WORKER
 
-        num_chunks = int(sizes.size)
-        starts = np.cumsum(sizes) - sizes
+        label = schedule.label
+        sizes, starts = schedule.sizes, schedule.starts
+        num_chunks = schedule.num_chunks
         # One batched draw for every chunk, in assignment order — consumes
         # the RNG exactly as the event path's per-chunk draws do.
         if num_chunks:

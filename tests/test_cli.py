@@ -153,6 +153,63 @@ class TestRunCommand:
             assert exp_id in out
 
 
+class TestBackendsCommand:
+    def test_lists_registered_backends(self, capsys):
+        from repro.backends import backend_names
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in backend_names():
+            assert name in out
+        assert "fallback" in out
+        assert "capabilities" in out
+
+
+class TestSimulatorRoundTrip:
+    def test_every_backend_round_trips_through_campaign(self, monkeypatch):
+        """`repro-dls campaign --simulator <name>` must accept every
+        registered backend name and pass it through unchanged."""
+        from repro.backends import backend_names
+        import repro.experiments.campaign as campaign_mod
+
+        seen: list[str] = []
+        monkeypatch.setattr(
+            campaign_mod,
+            "run_full_campaign",
+            lambda **kwargs: seen.append(kwargs["simulator"]) or 0.0,
+        )
+        for name in backend_names():
+            assert main(["campaign", "--simulator", name]) == 0
+        assert seen == backend_names()
+
+    def test_unknown_simulator_rejected_with_backend_list(self, capsys):
+        from repro.backends import backend_names
+
+        with pytest.raises(SystemExit) as exc:
+            main(["campaign", "--simulator", "simgrid4"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        for name in backend_names():
+            assert name in err
+
+    def test_simulate_accepts_direct_batch(self, capsys):
+        code = main([
+            "simulate", "--technique", "gss", "--n", "64", "--p", "4",
+            "--dist", "constant", "--simulator", "direct-batch",
+        ])
+        assert code == 0
+        assert "GSS on direct-batch" in capsys.readouterr().out
+
+    def test_simulate_reports_fallback(self, capsys):
+        code = main([
+            "simulate", "--technique", "bold", "--n", "64", "--p", "4",
+            "--dist", "constant", "--simulator", "direct-batch",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "note: direct-batch -> direct" in out
+
+
 class TestRecommendCommand:
     def test_prints_recommendation(self, capsys):
         code = main([
