@@ -228,6 +228,24 @@ class SimulationBackend(ABC):
             f"{task.technique}(n={task.params.n}, p={task.params.p})"
         )
 
+    def stamp_stats(self, result: "RunResult") -> "RunResult":
+        """Record this backend as the producer on the result's stats.
+
+        The simulators fill the kernel-level fields of
+        :class:`~repro.obs.stats.RunStats` but do not know which
+        registry entry drove them; the backend adds its name here —
+        after any capability fallback, so the stamp names the substrate
+        that actually ran.  A minimal stats block is created when the
+        simulator attached none.
+        """
+        from ..obs.stats import RunStats
+
+        if result.stats is None:
+            result.stats = RunStats(backend=self.name)
+        else:
+            result.stats.backend = self.name
+        return result
+
     # -- execution --------------------------------------------------------
     @abstractmethod
     def run(self, task: "RunTask", seed: np.random.SeedSequence) -> "RunResult":

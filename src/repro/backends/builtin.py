@@ -80,7 +80,9 @@ class _MsgBackendBase(SimulationBackend):
     def run(
         self, task: "RunTask", seed: np.random.SeedSequence
     ) -> "RunResult":
-        return self._simulation(task).run(_scheduler_factory(task), seed)
+        return self.stamp_stats(
+            self._simulation(task).run(_scheduler_factory(task), seed)
+        )
 
 
 @register_backend
@@ -161,7 +163,10 @@ class MsgFastBackend(_MsgBackendBase):
             np.random.SeedSequence(entropy=list(entropy))
             for entropy in block.seed_entropies
         ]
-        return sim.run_many(_scheduler_factory(block.task), seeds)
+        return [
+            self.stamp_stats(result)
+            for result in sim.run_many(_scheduler_factory(block.task), seeds)
+        ]
 
 
 @register_backend
@@ -196,7 +201,7 @@ class DirectBackend(SimulationBackend):
                 list(task.start_times) if task.start_times else None
             ),
         )
-        return sim.run(_scheduler_factory(task), seed)
+        return self.stamp_stats(sim.run(_scheduler_factory(task), seed))
 
 
 @register_backend
@@ -233,9 +238,11 @@ class DirectBatchBackend(SimulationBackend):
     def run(
         self, task: "RunTask", seed: np.random.SeedSequence
     ) -> "RunResult":
-        return self._simulator(task).run_batch(
-            _scheduler_factory(task), 1, seed
-        )[0]
+        return self.stamp_stats(
+            self._simulator(task).run_batch(
+                _scheduler_factory(task), 1, seed
+            )[0]
+        )
 
     def replication_blocks(
         self, task: "RunTask", runs: int, campaign_seed: int | None
@@ -257,6 +264,9 @@ class DirectBatchBackend(SimulationBackend):
 
     def run_block(self, block: ReplicationBlock) -> list["RunResult"]:
         seed = np.random.SeedSequence(entropy=list(block.seed_entropy))
-        return self._simulator(block.task).run_batch(
-            _scheduler_factory(block.task), block.runs, seed
-        )
+        return [
+            self.stamp_stats(result)
+            for result in self._simulator(block.task).run_batch(
+                _scheduler_factory(block.task), block.runs, seed
+            )
+        ]

@@ -8,6 +8,7 @@ Subcommands::
     repro-dls backends                     # simulation backends + fallbacks
     repro-dls schedule --technique gss --n 1000 --p 4
     repro-dls simulate --technique fac2 --n 4096 --p 16 --dist exponential
+    repro-dls stats journal.jsonl          # summarise a --trace journal
 
 The ``--simulator`` choices everywhere are the registered simulation
 backends (:mod:`repro.backends`); an unknown name fails with the list of
@@ -91,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     simu.add_argument("--runs", type=int, default=1)
     simu.add_argument("--seed", type=int, default=0)
     simu.add_argument("--simulator", choices=backend_names(), default="msg")
+    simu.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a JSONL run journal to FILE (see `repro-dls stats`)",
+    )
 
     rec = sub.add_parser(
         "recommend",
@@ -121,6 +126,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="replication process-pool size (default: REPRO_WORKERS env "
              "var or CPU count)",
+    )
+    campaign.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a JSONL run journal to FILE (see `repro-dls stats`)",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="summarise a JSONL run journal written by --trace"
+    )
+    stats.add_argument("journal", help="journal file written by --trace")
+    stats.add_argument(
+        "--top", type=int, default=5,
+        help="how many of the slowest tasks to list (default 5)",
     )
 
     files = sub.add_parser(
@@ -252,11 +270,13 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    import contextlib
     import dataclasses
     import statistics
 
     from .backends import drain_fallback_events
-    from .experiments.runner import RunTask
+    from .experiments.runner import RunTask, run_campaign
+    from .obs import journal_to
     from .workloads import (
         ConstantWorkload,
         ExponentialWorkload,
@@ -282,10 +302,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         simulator=args.simulator,
     )
     drain_fallback_events()
-    results = [
-        dataclasses.replace(task, seed_entropy=(args.seed + i,)).execute()
+    tasks = [
+        dataclasses.replace(task, seed_entropy=(args.seed + i,))
         for i in range(args.runs)
     ]
+    trace = (
+        journal_to(args.trace) if args.trace else contextlib.nullcontext()
+    )
+    with trace:
+        results = run_campaign(tasks, processes=1)
     awt = [r.average_wasted_time for r in results]
     sp = [r.speedup for r in results]
     print(
@@ -317,7 +342,10 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    import contextlib
+
     from .experiments.campaign import run_full_campaign
+    from .obs import journal_to
 
     kwargs: dict = {}
     if args.quick:
@@ -326,12 +354,26 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         kwargs["include_tss"] = False
     kwargs["simulator"] = args.simulator
     kwargs["workers"] = args.workers
-    if args.out:
-        with open(args.out, "w") as fh:
-            run_full_campaign(out=fh, **kwargs)
-        print(f"wrote {args.out}")
-    else:
-        run_full_campaign(**kwargs)
+    trace = (
+        journal_to(args.trace) if args.trace else contextlib.nullcontext()
+    )
+    with trace:
+        if args.out:
+            with open(args.out, "w") as fh:
+                run_full_campaign(out=fh, **kwargs)
+            print(f"wrote {args.out}")
+        else:
+            run_full_campaign(**kwargs)
+    if args.trace:
+        print(f"wrote journal {args.trace}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import load_journal, summarize_journal
+
+    records = load_journal(args.journal)
+    print(summarize_journal(records, top=args.top))
     return 0
 
 
@@ -416,6 +458,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_recommend(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "simulate-files":
         return _cmd_simulate_files(args)
     if args.command == "gantt":

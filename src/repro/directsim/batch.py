@@ -34,6 +34,7 @@ per-chunk execution logs.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Sequence
 
 import numpy as np
@@ -45,6 +46,7 @@ from ..core.schedule import (
     closed_form_supported,
     precompute_schedule,
 )
+from ..obs.stats import RunStats
 from ..results import RunResult
 from ..workloads.distributions import Workload
 from ..workloads.generator import make_rng
@@ -153,6 +155,7 @@ class BatchDirectSimulator:
         reps: int,
         rng: np.random.Generator,
     ) -> list[RunResult]:
+        t_wall = time.perf_counter()
         p = self.params.p
         h = self.params.h
         model = self.overhead_model
@@ -194,6 +197,9 @@ class BatchDirectSimulator:
             np.maximum(makespan, end, out=makespan)
 
         total = task_times.sum(axis=1)
+        # Each replication carries its share of the block's wall time;
+        # ``events`` is the chunk-assignment count, as on the scalar path.
+        wall_share = (time.perf_counter() - t_wall) / reps
         return [
             RunResult(
                 technique=label,
@@ -207,6 +213,14 @@ class BatchDirectSimulator:
                 num_chunks=num_chunks,
                 total_task_time=float(total[r]),
                 extras={"lost_chunks": 0, "lost_tasks": 0},
+                stats=RunStats(
+                    fast_path=True,
+                    events=num_chunks,
+                    heap_peak=p,
+                    live_peak=p,
+                    wall_time=wall_share,
+                    extra={"block_reps": reps},
+                ),
             )
             for r in range(reps)
         ]

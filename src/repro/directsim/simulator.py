@@ -17,12 +17,14 @@ against which the event-driven SimGrid-MSG-like simulator is verified
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..core.base import Scheduler
 from ..core.params import SchedulingParams
+from ..obs.stats import RunStats
 from ..results import ChunkExecution, RunResult
 from ..workloads.distributions import Workload
 from ..workloads.generator import make_rng
@@ -102,6 +104,7 @@ class DirectSimulator:
         ``scheduler`` may be an instance (used as-is; must be fresh) or a
         factory called with the simulator's params.
         """
+        t_wall = time.perf_counter()
         if not isinstance(scheduler, Scheduler):
             scheduler = scheduler(self.params)
         if scheduler.state.scheduled_chunks:
@@ -130,9 +133,11 @@ class DirectSimulator:
 
         lost_chunks = 0
         lost_tasks = 0
+        events = 0
 
         while ready and not scheduler.done:
             t, worker = heapq.heappop(ready)
+            events += 1
             if pending[worker] is not None:
                 done_size, done_elapsed = pending[worker]
                 scheduler.record_finished(worker, done_size, done_elapsed)
@@ -205,6 +210,15 @@ class DirectSimulator:
                 "lost_chunks": lost_chunks,
                 "lost_tasks": lost_tasks,
             },
+            # ``events`` counts worker ready-heap pops (one per chunk
+            # assignment attempt); the ready heap never exceeds p.
+            stats=RunStats(
+                fast_path=False,
+                events=events,
+                heap_peak=p,
+                live_peak=p,
+                wall_time=time.perf_counter() - t_wall,
+            ),
         )
 
 

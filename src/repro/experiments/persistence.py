@@ -12,6 +12,8 @@ as a regression.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
@@ -88,13 +90,39 @@ class CampaignRecord:
 
     # -- (de)serialisation --------------------------------------------------
     def save(self, path: str | Path) -> None:
+        """Write the record as JSON, atomically.
+
+        The document lands in a temporary file in the target directory
+        and is moved into place with :func:`os.replace`, so a crash
+        mid-write cannot leave a truncated campaign file — the previous
+        version (if any) survives intact.  Environment provenance
+        (package version, platform, ``REPRO_WORKERS``) is merged into
+        :attr:`metadata` under ``"provenance"`` unless the caller
+        already recorded one.
+        """
+        from ..obs.provenance import capture_provenance
+
+        self.metadata.setdefault("provenance", capture_provenance())
         document = {
             "metadata": self.metadata,
             "experiments": {
                 k: v.to_json() for k, v in self.experiments.items()
             },
         }
-        Path(path).write_text(json.dumps(document, indent=1))
+        path = Path(path)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(document, indent=1))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str | Path) -> "CampaignRecord":
@@ -105,25 +133,66 @@ class CampaignRecord:
         return record
 
 
+@dataclass
+class CampaignComparison:
+    """The outcome of diffing two campaign records.
+
+    ``rows`` holds per-experiment discrepancy rows for everything both
+    records contain; ``problems`` lists the structural mismatches —
+    experiments or techniques present in only one record — that a
+    numeric diff cannot express.  A comparison with problems is not a
+    clean comparison, even when every shared cell matches.
+    """
+
+    rows: dict[str, list[DiscrepancyRow]] = field(default_factory=dict)
+    problems: list[str] = field(default_factory=list)
+
+
 def compare_campaigns(
     current: CampaignRecord,
     reference: CampaignRecord,
-) -> dict[str, list[DiscrepancyRow]]:
-    """Discrepancy rows of every experiment both campaigns contain."""
-    out: dict[str, list[DiscrepancyRow]] = {}
-    for exp_id, series in current.experiments.items():
+) -> CampaignComparison:
+    """Diff two campaign records experiment by experiment.
+
+    Discrepancy rows are built for every (experiment, technique) pair
+    both records contain.  An experiment or technique present in only
+    one record is reported in :attr:`CampaignComparison.problems`
+    instead of being silently dropped — a vanished series is exactly
+    the kind of regression the diff exists to catch.  Sweep-key
+    mismatches on a shared experiment still raise ``ValueError`` (the
+    series are not comparable at all).
+    """
+    comparison = CampaignComparison()
+    for exp_id in sorted(set(current.experiments) | set(reference.experiments)):
+        series = current.experiments.get(exp_id)
         ref = reference.experiments.get(exp_id)
+        if series is None:
+            comparison.problems.append(
+                f"{exp_id}: only in the reference campaign"
+            )
+            continue
         if ref is None:
+            comparison.problems.append(
+                f"{exp_id}: only in the current campaign"
+            )
             continue
         if list(ref.keys) != list(series.keys):
             raise ValueError(
                 f"{exp_id}: sweep keys differ "
                 f"({series.keys} vs {ref.keys})"
             )
-        out[exp_id] = discrepancy_table(
+        for technique in sorted(set(series.series) - set(ref.series)):
+            comparison.problems.append(
+                f"{exp_id} / {technique}: only in the current campaign"
+            )
+        for technique in sorted(set(ref.series) - set(series.series)):
+            comparison.problems.append(
+                f"{exp_id} / {technique}: only in the reference campaign"
+            )
+        comparison.rows[exp_id] = discrepancy_table(
             series.series, ref.series, series.keys
         )
-    return out
+    return comparison
 
 
 def regression_check(
@@ -135,10 +204,13 @@ def regression_check(
 
     Returns an empty list when everything is within tolerance.  The
     default tolerance is generous because runs are stochastic; tighten
-    it for campaigns with large run counts.
+    it for campaigns with large run counts.  Structural mismatches
+    (experiments or techniques present in only one record) are always
+    regressions, whatever the tolerance.
     """
-    problems: list[str] = []
-    for exp_id, rows in compare_campaigns(current, reference).items():
+    comparison = compare_campaigns(current, reference)
+    problems: list[str] = list(comparison.problems)
+    for exp_id, rows in comparison.rows.items():
         for row in rows:
             for key, rel in zip(row.keys, row.relative_discrepancies):
                 if abs(rel) > tolerance_percent:

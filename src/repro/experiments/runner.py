@@ -45,10 +45,13 @@ from ..backends import (
     BATCH_BLOCK_RUNS,
     ReplicationBlock,
     get_backend,
+    peek_fallback_events,
     resolve_backend,
 )
 from ..core.params import SchedulingParams
 from ..metrics.wasted_time import OverheadModel
+from ..obs import core as obs_core
+from ..obs.journal import RunJournal, active_journal
 from ..results import RunResult
 from ..simgrid.platform import Platform
 from ..workloads.distributions import Workload
@@ -154,17 +157,27 @@ def _execute_indexed(item: tuple[int, RunTask | ReplicationBlock]):
 
 
 def resolve_workers(processes: int | None = None) -> int:
-    """The worker-pool size: argument > ``REPRO_WORKERS`` > CPU count."""
+    """The worker-pool size: argument > ``REPRO_WORKERS`` > CPU count.
+
+    A ``REPRO_WORKERS`` value that is not an integer, or is zero or
+    negative, fails with an error naming the variable — never a raw
+    traceback deep inside the pool machinery, and never a silent clamp.
+    """
     if processes is not None:
         return max(1, int(processes))
     env = os.environ.get("REPRO_WORKERS")
     if env:
         try:
-            return max(1, int(env))
+            value = int(env)
         except ValueError:
             raise ValueError(
                 f"REPRO_WORKERS must be an integer, got {env!r}"
             ) from None
+        if value <= 0:
+            raise ValueError(
+                f"REPRO_WORKERS must be a positive integer, got {env!r}"
+            )
+        return value
     return os.cpu_count() or 1
 
 
@@ -232,6 +245,56 @@ def expand_replications(task: RunTask, runs: int,
     return out
 
 
+# -- run journal ----------------------------------------------------------
+def _journal_task_record(
+    task: RunTask,
+    results: Sequence[RunResult],
+    campaign_seed: int | None = None,
+) -> dict:
+    """One JSONL ``task`` record: the task's identity plus aggregated
+    :class:`~repro.obs.stats.RunStats` over all its replications."""
+    stats = [r.stats for r in results if r.stats is not None]
+    backend = next((s.backend for s in stats if s.backend), task.simulator)
+    record = {
+        "kind": "task",
+        "technique": task.technique,
+        "n": task.params.n,
+        "p": task.params.p,
+        "h": task.params.h,
+        "requested": task.simulator,
+        "backend": backend,
+        "runs": len(results),
+        "wall_time_s": sum(s.wall_time for s in stats),
+        "events": sum(s.events for s in stats),
+        "fast_path_runs": sum(1 for s in stats if s.fast_path),
+        "seed_entropy": list(task.seed_entropy) or None,
+    }
+    if campaign_seed is not None:
+        record["campaign_seed"] = campaign_seed
+    return record
+
+
+def _journal_new_fallbacks(journal: RunJournal, seen_before: int) -> None:
+    """Journal the fallback events recorded since ``seen_before``.
+
+    The process-wide fallback log is peeked, not drained, so campaign
+    reports still surface the same events afterwards.
+    """
+    for event in peek_fallback_events()[seen_before:]:
+        journal.write({"kind": "fallback", **event.to_json()})
+
+
+def _execute_tasks(tasks: Sequence[RunTask],
+                   processes: int | None) -> list[RunResult]:
+    """Resolve every task in the parent, then execute (pooled or serial)."""
+    for task in tasks:
+        resolve_backend(task)
+    processes = resolve_workers(processes)
+    if processes <= 1 or len(tasks) <= 1:
+        return [task.execute() for task in tasks]
+    return _run_pooled(tasks, processes)
+
+
 def run_campaign(tasks: Sequence[RunTask],
                  processes: int | None = None) -> list[RunResult]:
     """Execute tasks, parallelising over processes when it helps.
@@ -242,13 +305,20 @@ def run_campaign(tasks: Sequence[RunTask],
     logs).  ``processes`` defaults to ``REPRO_WORKERS`` or the CPU
     count; with one process (or one task) the loop stays in-process,
     avoiding pickling overhead.  Results are returned in task order.
+
+    When a run journal is active (:func:`repro.obs.set_journal`), one
+    ``task`` record is written per task, plus a ``fallback`` record per
+    new capability degradation observed while resolving.
     """
-    for task in tasks:
-        resolve_backend(task)
-    processes = resolve_workers(processes)
-    if processes <= 1 or len(tasks) <= 1:
-        return [task.execute() for task in tasks]
-    return _run_pooled(tasks, processes)
+    journal = active_journal()
+    fallbacks_before = len(peek_fallback_events())
+    with obs_core.span("run_campaign", tasks=len(tasks)):
+        results = _execute_tasks(tasks, processes)
+    if journal is not None:
+        _journal_new_fallbacks(journal, fallbacks_before)
+        for task, result in zip(tasks, results):
+            journal.write(_journal_task_record(task, [result]))
+    return results
 
 
 def run_replicated(task: RunTask, runs: int, campaign_seed: int | None = None,
@@ -263,18 +333,34 @@ def run_replicated(task: RunTask, runs: int, campaign_seed: int | None = None,
     independent of the worker count) that each amortise one
     chunk-schedule precomputation; everything else takes the per-run
     scalar path.
+
+    When a run journal is active, the whole replication sweep is one
+    ``task`` record (stats aggregated over all replications), plus a
+    ``fallback`` record per new degradation.
     """
     if runs < 1:
         raise ValueError("runs must be >= 1")
+    journal = active_journal()
+    fallbacks_before = len(peek_fallback_events())
     backend = resolve_backend(task)
-    blocks = backend.replication_blocks(task, runs, campaign_seed)
-    if blocks is not None:
-        processes = resolve_workers(processes)
-        if processes <= 1 or len(blocks) <= 1:
-            results = [block.execute() for block in blocks]
+    with obs_core.span(
+        "run_replicated", technique=task.technique, runs=runs
+    ):
+        blocks = backend.replication_blocks(task, runs, campaign_seed)
+        if blocks is not None:
+            processes = resolve_workers(processes)
+            if processes <= 1 or len(blocks) <= 1:
+                block_results = [block.execute() for block in blocks]
+            else:
+                block_results = _run_pooled(blocks, processes)
+            results = [r for group in block_results for r in group]
         else:
-            results = _run_pooled(blocks, processes)
-        return [r for block_results in results for r in block_results]
-    return run_campaign(
-        expand_replications(task, runs, campaign_seed), processes=processes
-    )
+            results = _execute_tasks(
+                expand_replications(task, runs, campaign_seed), processes
+            )
+    if journal is not None:
+        _journal_new_fallbacks(journal, fallbacks_before)
+        journal.write(
+            _journal_task_record(task, results, campaign_seed=campaign_seed)
+        )
+    return results

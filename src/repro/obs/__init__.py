@@ -1,0 +1,70 @@
+"""Structured observability: spans, counters, run stats, run journals.
+
+The paper's whole argument rests on being able to *trust* what a
+simulation run did — Section V publishes its raw data precisely so
+others can audit it.  This package gives every execution path the
+instrumentation that makes a run auditable:
+
+* :class:`Span` / :class:`Counters` (:mod:`repro.obs.core`) —
+  lightweight tracing with near-zero overhead while disabled; a
+  disabled :func:`span` call returns a shared no-op singleton.
+* :class:`RunStats` (:mod:`repro.obs.stats`) — the per-run kernel
+  statistics block every simulator attaches to its
+  :class:`~repro.results.RunResult` (events processed, heap peak,
+  live-process high-water mark, host wall time).  Stats are
+  observability metadata, not results: ``RunResult`` equality ignores
+  them.
+* :class:`RunJournal` (:mod:`repro.obs.journal`) — an append-only JSONL
+  journal of campaign execution, one record per task (backend chosen,
+  fallback events, seed entropy, wall time, stats), written by
+  :mod:`repro.experiments.runner` whenever a journal is active.
+* :func:`capture_provenance` (:mod:`repro.obs.provenance`) — the
+  environment snapshot (package version, python, platform XML hash,
+  ``REPRO_WORKERS``) merged into ``CampaignRecord.metadata`` and
+  written as the first journal record.
+* :func:`summarize_journal` (:mod:`repro.obs.report`) — the
+  ``repro-dls stats`` summary (slowest tasks, fallback counts,
+  events/sec per backend).
+"""
+
+from .core import (
+    Counters,
+    Span,
+    counters,
+    disable,
+    drain_spans,
+    enable,
+    is_enabled,
+    span,
+)
+from .journal import (
+    RunJournal,
+    active_journal,
+    clear_journal,
+    journal_to,
+    set_journal,
+)
+from .provenance import capture_provenance, platform_xml_hash
+from .report import load_journal, summarize_journal
+from .stats import RunStats
+
+__all__ = [
+    "Counters",
+    "RunJournal",
+    "RunStats",
+    "Span",
+    "active_journal",
+    "capture_provenance",
+    "clear_journal",
+    "counters",
+    "disable",
+    "drain_spans",
+    "enable",
+    "is_enabled",
+    "journal_to",
+    "load_journal",
+    "platform_xml_hash",
+    "set_journal",
+    "span",
+    "summarize_journal",
+]

@@ -1,0 +1,156 @@
+"""Tracing spans and counters with near-zero overhead while disabled.
+
+Tracing is a process-global switch (:func:`enable` / :func:`disable`),
+off by default.  While it is off, :func:`span` returns one shared no-op
+singleton — entering and leaving it does nothing and allocates nothing —
+so instrumented hot paths pay a single function call and an attribute
+read.  While it is on, every finished :class:`Span` is appended to an
+in-memory sink drained with :func:`drain_spans`.
+
+:class:`Counters` is an allocation-light named-counter bag; the
+process-global instance (:func:`counters`) always counts (incrementing
+an integer in a dict is cheap enough to leave on), and scoped instances
+can be created freely — :class:`~repro.obs.stats.RunStats` carries one
+per run as its ``extra`` mapping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+__all__ = [
+    "Counters",
+    "Span",
+    "counters",
+    "disable",
+    "drain_spans",
+    "enable",
+    "is_enabled",
+    "span",
+]
+
+
+class Counters:
+    """A bag of named, monotonically increasing counters."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = {}
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` (default 1) to counter ``name``."""
+        values = self._values
+        values[name] = values.get(name, 0) + amount
+
+    def value(self, name: str) -> float:
+        """The current value of ``name`` (0 if never incremented)."""
+        return self._values.get(name, 0)
+
+    def as_dict(self) -> dict[str, float]:
+        """A snapshot copy of all counters."""
+        return dict(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counters({self._values!r})"
+
+
+class Span:
+    """One timed section of work, used as a context manager.
+
+    Records its start (``time.perf_counter``) on entry and its
+    ``duration`` on exit, then reports itself to the module sink.
+    Attributes are free-form key/value context (``span("run",
+    technique="ss")``).
+    """
+
+    __slots__ = ("name", "attributes", "started_at", "duration")
+
+    def __init__(self, name: str, attributes: dict[str, Any]):
+        self.name = name
+        self.attributes = attributes
+        self.started_at: float | None = None
+        self.duration: float | None = None
+
+    def __enter__(self) -> "Span":
+        self.started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.duration = time.perf_counter() - self.started_at
+        _SPANS.append(self)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_s": self.duration,
+            **self.attributes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Span {self.name} duration={self.duration}>"
+
+
+class _NullSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    attributes: dict[str, Any] = {}
+    started_at = None
+    duration = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_ENABLED = False
+_SPANS: list[Span] = []
+_COUNTERS = Counters()
+
+
+def span(name: str, **attributes: Any) -> Span | _NullSpan:
+    """A span named ``name`` — or the shared no-op while disabled."""
+    if not _ENABLED:
+        return _NULL_SPAN
+    return Span(name, attributes)
+
+
+def enable() -> None:
+    """Turn span collection on (process-global)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn span collection off and discard pending spans."""
+    global _ENABLED
+    _ENABLED = False
+    _SPANS.clear()
+
+
+def is_enabled() -> bool:
+    return _ENABLED
+
+
+def drain_spans() -> list[Span]:
+    """Return and clear the finished spans collected so far."""
+    out = list(_SPANS)
+    _SPANS.clear()
+    return out
+
+
+def counters() -> Counters:
+    """The process-global counter bag (always counting)."""
+    return _COUNTERS

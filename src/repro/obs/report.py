@@ -1,0 +1,125 @@
+"""Summarise a run journal: the ``repro-dls stats`` report.
+
+Reads the JSONL journal written by :mod:`repro.obs.journal` and answers
+the questions an auditor asks first: what environment produced the runs,
+how fast was each backend (events per host second), which tasks
+dominated the wall time, and which requested backends silently — no
+longer silently — degraded to a fallback.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["load_journal", "summarize_journal"]
+
+
+def load_journal(path: str | Path) -> list[dict]:
+    """Parse a JSONL journal; every non-empty line must be a JSON object."""
+    records: list[dict] = []
+    for lineno, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{lineno}: invalid journal line ({exc})"
+            ) from None
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"{path}:{lineno}: journal line is not a JSON object"
+            )
+        records.append(record)
+    return records
+
+
+def _task_label(record: dict) -> str:
+    return (
+        f"{record.get('technique', '?')}"
+        f"(n={record.get('n', '?')}, p={record.get('p', '?')})"
+    )
+
+
+def summarize_journal(
+    records: Sequence[dict], top: int = 5
+) -> str:
+    """A human-readable summary of a journal's records."""
+    provenance = next(
+        (r for r in records if r.get("kind") == "provenance"), None
+    )
+    tasks = [r for r in records if r.get("kind") == "task"]
+    fallbacks = [r for r in records if r.get("kind") == "fallback"]
+
+    lines: list[str] = [f"{len(records)} journal record(s): "
+                        f"{len(tasks)} task(s), {len(fallbacks)} fallback(s)"]
+    if provenance is not None:
+        workers = provenance.get("repro_workers")
+        lines.append(
+            "provenance: repro "
+            f"{provenance.get('package_version', '?')}, "
+            f"python {provenance.get('python', '?')} on "
+            f"{provenance.get('system', '?')}/"
+            f"{provenance.get('machine', '?')}, "
+            f"REPRO_WORKERS={workers if workers else '-'}"
+        )
+
+    if tasks:
+        per_backend: dict[str, dict[str, float]] = {}
+        for record in tasks:
+            agg = per_backend.setdefault(
+                record.get("backend", "?"),
+                {"tasks": 0, "runs": 0, "wall": 0.0, "events": 0},
+            )
+            agg["tasks"] += 1
+            agg["runs"] += record.get("runs", 0)
+            agg["wall"] += record.get("wall_time_s", 0.0)
+            agg["events"] += record.get("events", 0)
+        lines.append("")
+        lines.append(
+            f"  {'backend':<14s} {'tasks':>6s} {'runs':>7s} "
+            f"{'wall time':>10s} {'events':>12s} {'events/s':>10s}"
+        )
+        for backend in sorted(per_backend):
+            agg = per_backend[backend]
+            rate = agg["events"] / agg["wall"] if agg["wall"] > 0 else 0.0
+            lines.append(
+                f"  {backend:<14s} {int(agg['tasks']):>6d} "
+                f"{int(agg['runs']):>7d} {agg['wall']:>9.2f}s "
+                f"{int(agg['events']):>12d} {rate:>10.0f}"
+            )
+
+        slowest = sorted(
+            tasks, key=lambda r: r.get("wall_time_s", 0.0), reverse=True
+        )[:top]
+        lines.append("")
+        lines.append(f"slowest task(s) (top {len(slowest)}):")
+        for rank, record in enumerate(slowest, start=1):
+            lines.append(
+                f"  {rank}. {_task_label(record):<28s} "
+                f"{record.get('backend', '?'):<14s} "
+                f"{record.get('wall_time_s', 0.0):>8.3f}s "
+                f"({record.get('runs', 0)} run(s))"
+            )
+
+    if fallbacks:
+        counts: dict[tuple[str, str, str], int] = {}
+        for record in fallbacks:
+            key = (
+                record.get("requested", "?"),
+                record.get("chosen", "?"),
+                record.get("reason", ""),
+            )
+            counts[key] = counts.get(key, 0) + 1
+        lines.append("")
+        lines.append("fallbacks:")
+        for (requested, chosen, reason), count in sorted(counts.items()):
+            lines.append(f"  {requested} -> {chosen}  x{count}")
+            if reason:
+                lines.append(f"    {reason}")
+
+    return "\n".join(lines)

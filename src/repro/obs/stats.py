@@ -1,0 +1,86 @@
+"""Per-run kernel statistics attached to every :class:`RunResult`.
+
+Every execution substrate fills a :class:`RunStats` block as it runs:
+the event-driven MSG stack reports the engine's counters (events
+processed, event-heap peak, live-process high-water mark), the compiled
+fast paths report their loop analogues (master receipts served, pending
+heap bound), and the batch kernel reports per-replication shares of its
+block timings.  The owning backend stamps its registry name on the
+block afterwards, so a result always knows which substrate actually
+produced it — including after a capability fallback.
+
+Stats are observability metadata, **not** results: two runs with
+identical simulated observables but different stats compare equal
+(``RunResult`` declares the field with ``compare=False``), and the
+msg / msg-fast bit-identity suite tolerates differing stats while
+asserting identical results.
+
+The dataclass is plain data, so it pickles through the campaign
+process pool unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["RunStats"]
+
+
+@dataclass
+class RunStats:
+    """Kernel-level statistics of one simulated run.
+
+    ``events`` counts the substrate's unit of progress: engine events on
+    the event-driven path, master scheduling receipts on the MSG fast
+    path, chunk assignments on the direct/batch kernels.  ``heap_peak``
+    and ``live_peak`` are the event-heap and live-process high-water
+    marks (the fast paths report their structural bounds).  ``wall_time``
+    is host wall-clock seconds spent inside the simulator (the batch
+    kernel reports each replication's share of its block).
+    """
+
+    #: registry name of the backend that produced the run ("" when the
+    #: simulator was driven directly, outside the backend registry)
+    backend: str = ""
+    #: True when a compiled fast path (msg-fast flattening or the batch
+    #: kernel) produced the run instead of a per-event/per-chunk loop
+    fast_path: bool = False
+    events: int = 0
+    heap_peak: int = 0
+    live_peak: int = 0
+    wall_time: float = 0.0
+    #: free-form additional counters (block sizes, lost chunks, ...)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def events_per_second(self) -> float:
+        """Simulation throughput in events per host second (0 if unknown)."""
+        if self.wall_time <= 0:
+            return 0.0
+        return self.events / self.wall_time
+
+    def to_json(self) -> dict:
+        data = {
+            "backend": self.backend,
+            "fast_path": self.fast_path,
+            "events": self.events,
+            "heap_peak": self.heap_peak,
+            "live_peak": self.live_peak,
+            "wall_time_s": self.wall_time,
+        }
+        if self.extra:
+            data["extra"] = dict(self.extra)
+        return data
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "RunStats":
+        return cls(
+            backend=data.get("backend", ""),
+            fast_path=bool(data.get("fast_path", False)),
+            events=int(data.get("events", 0)),
+            heap_peak=int(data.get("heap_peak", 0)),
+            live_peak=int(data.get("live_peak", 0)),
+            wall_time=float(data.get("wall_time_s", 0.0)),
+            extra=dict(data.get("extra", {})),
+        )

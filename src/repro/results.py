@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from .core.base import ChunkRecord
 from .metrics.wasted_time import OverheadModel, average_wasted_time
+from .obs.stats import RunStats
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,10 @@ class RunResult:
     chunk_log: list[ChunkExecution] = field(default_factory=list)
     #: extra per-run observables (message counts, comm time, ...)
     extras: dict = field(default_factory=dict)
+    #: kernel statistics of the run (events, heap peak, wall time, ...).
+    #: Observability metadata, not a result: excluded from equality, so
+    #: bit-identical runs compare equal even across substrates.
+    stats: RunStats | None = field(default=None, compare=False, repr=False)
 
     @property
     def average_wasted_time(self) -> float:

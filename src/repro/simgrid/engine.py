@@ -99,6 +99,10 @@ class Engine:
         # Live processes only (insertion-ordered); finished processes are
         # dropped immediately so the engine does not retain dead state.
         self._live: dict[Process, None] = {}
+        # Kernel statistics (read by the simulators' RunStats blocks).
+        self.events_processed: int = 0
+        self.heap_peak: int = 0
+        self.live_peak: int = 0
 
     # -- event scheduling -------------------------------------------------
     def schedule(self, delay: float, callback: Callable[..., None],
@@ -112,6 +116,8 @@ class Engine:
             raise ValueError(f"delay must be >= 0, got {delay}")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, callback, args))
+        if len(self._heap) > self.heap_peak:
+            self.heap_peak = len(self._heap)
 
     # -- processes ----------------------------------------------------------
     def spawn(self, gen: Generator[Effect, Any, None],
@@ -125,6 +131,8 @@ class Engine:
             )
         process = Process(self, gen, name=name)
         self._live[process] = None
+        if len(self._live) > self.live_peak:
+            self.live_peak = len(self._live)
         self.schedule(delay, process.resume, None)
         return process
 
@@ -142,25 +150,33 @@ class Engine:
         """Process events until the heap drains (or a limit hits).
 
         Returns the final simulated time.  ``until`` stops the clock at a
-        time bound; ``max_events`` guards against runaway simulations.
+        time bound; the clock never rewinds, so a bound already in the
+        past (``until < now``) processes nothing and leaves the clock
+        where it is.  ``max_events`` guards against runaway simulations.
         """
         count = 0
         heap = self._heap
-        while heap:
-            time, _, action, args = heap[0]
-            if until is not None and time > until:
-                self.now = until
-                return self.now
-            heapq.heappop(heap)
-            if time < self.now:
-                raise SimulationError("event scheduled in the past")
-            self.now = time
-            action(*args)
-            count += 1
-            if max_events is not None and count >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at t={self.now}"
-                )
+        try:
+            while heap:
+                time, _, action, args = heap[0]
+                if until is not None and time > until:
+                    # Clamp forward only: resuming a run with an earlier
+                    # bound must not rewind the simulated clock.
+                    if until > self.now:
+                        self.now = until
+                    return self.now
+                heapq.heappop(heap)
+                if time < self.now:
+                    raise SimulationError("event scheduled in the past")
+                self.now = time
+                action(*args)
+                count += 1
+                if max_events is not None and count >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={self.now}"
+                    )
+        finally:
+            self.events_processed += count
         if self._live:
             waiting = [p.name for p in self._live]
             raise SimulationError(

@@ -18,6 +18,7 @@ could physically learn about the completion.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Generator, Sequence
 
@@ -26,6 +27,7 @@ import numpy as np
 from ..core.base import Scheduler
 from ..core.params import SchedulingParams
 from ..metrics.wasted_time import OverheadModel
+from ..obs.stats import RunStats
 from ..results import ChunkExecution, RunResult
 from ..workloads.distributions import Workload
 from ..workloads.generator import make_rng
@@ -212,6 +214,7 @@ class MasterWorkerSimulation:
         seed: int | np.random.SeedSequence | None = None,
     ) -> RunResult:
         """Simulate one run end to end; return its :class:`RunResult`."""
+        t_wall = time.perf_counter()
         if not isinstance(scheduler, Scheduler):
             scheduler = scheduler(self.params)
         if scheduler.state.scheduled_chunks:
@@ -270,6 +273,13 @@ class MasterWorkerSimulation:
                 "wait_times": [w.wait_time for w in trace.workers],
                 "total_requests": sum(w.requests for w in trace.workers),
             },
+            stats=RunStats(
+                fast_path=False,
+                events=engine.events_processed,
+                heap_peak=engine.heap_peak,
+                live_peak=engine.live_peak,
+                wall_time=time.perf_counter() - t_wall,
+            ),
         )
 
 

@@ -219,3 +219,50 @@ class TestRecommendCommand:
         out = capsys.readouterr().out
         assert "recommended:" in out
         assert "predicted" in out
+
+
+class TestTraceAndStats:
+    def test_simulate_trace_writes_journal(self, capsys, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        code = main([
+            "simulate", "--technique", "fac2", "--n", "64", "--p", "4",
+            "--dist", "constant", "--runs", "2",
+            "--simulator", "msg-fast", "--trace", str(journal),
+        ])
+        assert code == 0
+        import json
+
+        records = [
+            json.loads(line) for line in journal.read_text().splitlines()
+        ]
+        assert records[0]["kind"] == "provenance"
+        assert sum(r["kind"] == "task" for r in records) == 2
+
+    def test_stats_summarises_journal(self, capsys, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        assert main([
+            "simulate", "--technique", "fac2", "--n", "64", "--p", "4",
+            "--dist", "constant", "--simulator", "msg-fast",
+            "--trace", str(journal),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(journal), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "msg-fast" in out
+        assert "provenance:" in out
+        assert "slowest task" in out
+
+    def test_stats_rejects_broken_journal(self, tmp_path):
+        journal = tmp_path / "broken.jsonl"
+        journal.write_text("not json\n")
+        with pytest.raises(ValueError, match="broken.jsonl:1"):
+            main(["stats", str(journal)])
+
+    def test_simulate_without_trace_unchanged(self, capsys, tmp_path):
+        code = main([
+            "simulate", "--technique", "gss", "--n", "64", "--p", "4",
+            "--dist", "constant",
+        ])
+        assert code == 0
+        assert "GSS on msg" in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []

@@ -50,6 +50,29 @@ class TestScheduling:
         assert seen == [1]
         assert engine.now == 5.0
 
+    def test_until_in_the_past_does_not_rewind_the_clock(self):
+        # Regression: run(until=t) with t < now used to set now = t,
+        # rewinding the simulated clock and corrupting any later
+        # schedule() (delays are relative to now).
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(10.0, lambda: None)
+        engine.run(until=5.0)
+        assert engine.now == 5.0
+        assert engine.run(until=2.0) == 5.0
+        assert engine.now == 5.0
+
+    def test_until_clamp_is_forward_only_across_resumes(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10.0, lambda: fired.append(engine.now))
+        engine.run(until=4.0)
+        engine.run(until=2.0)  # earlier bound: a no-op
+        engine.run(until=6.0)  # later bound: clock moves forward
+        assert engine.now == 6.0
+        engine.run()
+        assert fired == [10.0]
+
     def test_nested_scheduling(self):
         engine = Engine()
         seen = []
@@ -218,6 +241,41 @@ class TestZeroAllocationKernel:
         assert all(entry[2] is tick for entry in engine._heap)
         engine.run()
         assert fired[0] == 100_000
+
+    def test_kernel_statistics_track_events_and_peaks(self):
+        engine = Engine()
+        fired = [0]
+
+        def tick():
+            fired[0] += 1
+
+        for i in range(10):
+            engine.schedule(float(i), tick)
+        assert engine.heap_peak == 10
+        engine.run()
+        assert engine.events_processed == 10
+        assert engine.heap_peak == 10  # peaks survive the drain
+
+    def test_live_peak_tracks_process_high_water_mark(self):
+        engine = Engine()
+
+        def proc():
+            yield Timeout(1.0)
+
+        for _ in range(4):
+            engine.spawn(proc(), name="p")
+        engine.run()
+        assert engine.live_processes == 0
+        assert engine.live_peak == 4
+
+    def test_events_processed_counts_across_resumed_runs(self):
+        engine = Engine()
+        for i in range(5):
+            engine.schedule(float(i), lambda: None)
+        engine.run(until=1.5)
+        assert engine.events_processed == 2
+        engine.run()
+        assert engine.events_processed == 5
 
     def test_timeout_effect_schedules_bound_resume(self):
         """A Timeout-driven process drains through bound ``resume``

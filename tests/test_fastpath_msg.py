@@ -185,3 +185,24 @@ def test_replicate_msg_fast_matches_replicate_msg():
     b = replicate_msg_fast(fast, factory_for("gss"), runs, seed=123)
     for x, y in zip(a, b):
         assert_bit_identical(x, y)
+
+
+def test_both_paths_carry_run_stats():
+    """msg and msg-fast results each carry a RunStats block; the event
+    path reports kernel counters, the fast path its structural
+    analogues — results stay equal despite different stats."""
+    workload = ExponentialWorkload(1.0)
+    slow = MasterWorkerSimulation(PARAMS, workload)
+    fast = FastMasterWorkerSimulation(PARAMS, workload)
+    result_slow = slow.run(factory_for("gss"), seed=42)
+    result_fast = fast.run(factory_for("gss"), seed=42)
+    assert result_slow.stats is not None
+    assert result_fast.stats is not None
+    assert not result_slow.stats.fast_path
+    assert result_fast.stats.fast_path
+    assert result_slow.stats.events > 0
+    assert result_fast.stats.events > 0
+    assert_bit_identical(result_slow, result_fast)
+    # Dataclass equality ignores the (differing) stats blocks entirely.
+    assert result_slow.stats.events != result_fast.stats.events
+    assert result_slow == result_fast

@@ -31,7 +31,8 @@ class TestRoundtrip:
         path = tmp_path / "campaign.json"
         record.save(path)
         back = CampaignRecord.load(path)
-        assert back.metadata == {"seed": 1}
+        assert back.metadata["seed"] == 1
+        assert "provenance" in back.metadata
         assert back.experiments["bold-n256"].series == (
             record.experiments["bold-n256"].series
         )
@@ -54,6 +55,43 @@ class TestRoundtrip:
         assert series.experiment == "tss-exp2"
         assert series.keys == [2, 8]
 
+    def test_save_is_atomic(self, tmp_path, monkeypatch):
+        # A crash mid-serialisation must leave the previous file intact
+        # and no temp file behind.
+        import json as json_module
+
+        import repro.experiments.persistence as persistence
+
+        path = tmp_path / "campaign.json"
+        small_record().save(path)
+        before = path.read_text()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("simulated crash mid-write")
+
+        monkeypatch.setattr(persistence.json, "dumps", boom)
+        with pytest.raises(RuntimeError, match="mid-write"):
+            small_record(offset=9.0).save(path)
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path]
+        assert json_module.loads(before)  # still valid JSON
+
+    def test_save_records_provenance(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        small_record().save(path)
+        back = CampaignRecord.load(path)
+        provenance = back.metadata["provenance"]
+        assert provenance["package_version"]
+        assert provenance["python"]
+
+    def test_save_keeps_caller_provenance(self, tmp_path):
+        record = small_record()
+        record.metadata["provenance"] = {"origin": "caller"}
+        path = tmp_path / "campaign.json"
+        record.save(path)
+        back = CampaignRecord.load(path)
+        assert back.metadata["provenance"] == {"origin": "caller"}
+
     def test_roundtrip_through_disk_with_real_results(self, tmp_path):
         result = run_bold_experiment(
             n=256, pe_counts=(2,), techniques=("FAC2",),
@@ -71,21 +109,43 @@ class TestRoundtrip:
 
 class TestComparison:
     def test_identical_campaigns_have_zero_discrepancy(self):
-        rows = compare_campaigns(small_record(), small_record())
-        for row in rows["bold-n256"]:
+        comparison = compare_campaigns(small_record(), small_record())
+        assert comparison.problems == []
+        for row in comparison.rows["bold-n256"]:
             assert row.max_abs_discrepancy == 0.0
 
     def test_shifted_campaign_detected(self):
-        rows = compare_campaigns(small_record(offset=2.0), small_record())
+        comparison = compare_campaigns(small_record(offset=2.0), small_record())
         fac2 = next(
-            r for r in rows["bold-n256"] if r.technique == "FAC2"
+            r for r in comparison.rows["bold-n256"] if r.technique == "FAC2"
         )
         assert fac2.max_abs_relative_discrepancy == pytest.approx(50.0)
 
-    def test_missing_experiment_skipped(self):
+    def test_missing_experiment_reported_as_problem(self):
+        # Regression: experiments present in only one record used to be
+        # silently skipped, so a vanished series diffed clean.
         a = small_record()
         b = CampaignRecord()
-        assert compare_campaigns(a, b) == {}
+        comparison = compare_campaigns(a, b)
+        assert comparison.rows == {}
+        assert comparison.problems == [
+            "bold-n256: only in the current campaign"
+        ]
+        reverse = compare_campaigns(b, a)
+        assert reverse.problems == [
+            "bold-n256: only in the reference campaign"
+        ]
+
+    def test_missing_technique_reported_as_problem(self):
+        a = small_record()
+        b = small_record()
+        del b.experiments["bold-n256"].series["FAC2"]
+        comparison = compare_campaigns(a, b)
+        assert comparison.problems == [
+            "bold-n256 / FAC2: only in the current campaign"
+        ]
+        # The shared technique still gets its discrepancy rows.
+        assert [r.technique for r in comparison.rows["bold-n256"]] == ["SS"]
 
     def test_key_mismatch_rejected(self):
         a = small_record()
@@ -105,6 +165,13 @@ class TestRegressionCheck:
         )
         assert problems
         assert any("FAC2" in p for p in problems)
+
+    def test_structural_mismatch_is_a_regression(self):
+        # A vanished experiment fails the check at any tolerance.
+        problems = regression_check(
+            CampaignRecord(), small_record(), tolerance_percent=1e9
+        )
+        assert problems == ["bold-n256: only in the reference campaign"]
 
     def test_report_names_cell(self):
         problems = regression_check(
