@@ -72,6 +72,9 @@ class BackendCapabilities:
     #: block-level replication execution (one schedule precomputation
     #: amortised over a whole block of replications)
     pooled_blocks: bool = False
+    #: per-chunk execution logs (``RunResult.chunk_log``) on request
+    #: (``RunTask.collect_chunk_log``)
+    chunk_log: bool = False
 
 
 #: capability field -> short description for generated documentation
@@ -84,6 +87,7 @@ CAPABILITY_DESCRIPTIONS: dict[str, str] = {
     "staggered_starts": "staggered start times",
     "max_events": "max_events budgets",
     "pooled_blocks": "pooled replication blocks",
+    "chunk_log": "per-chunk execution logs (collect_chunk_log)",
 }
 
 
@@ -217,6 +221,11 @@ class SimulationBackend(ABC):
         if task.start_times is not None and not caps.staggered_starts:
             return (
                 "staggered start times are not supported by the "
+                f"{self.name!r} backend"
+            )
+        if task.collect_chunk_log and not caps.chunk_log:
+            return (
+                "per-chunk execution logs are not recorded by the "
                 f"{self.name!r} backend"
             )
         return None

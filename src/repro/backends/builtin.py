@@ -72,6 +72,7 @@ class _MsgBackendBase(SimulationBackend):
             start_times=(
                 list(task.start_times) if task.start_times else None
             ),
+            record_chunks=task.collect_chunk_log,
         )
         return self.simulation_cls(
             task.params, task.workload, platform=task.platform, config=config
@@ -100,6 +101,7 @@ class MsgBackend(_MsgBackendBase):
         staggered_starts=True,
         max_events=True,
         pooled_blocks=False,
+        chunk_log=True,
     )
     fallback = None
 
@@ -125,6 +127,7 @@ class MsgFastBackend(_MsgBackendBase):
         staggered_starts=True,
         max_events=False,
         pooled_blocks=True,
+        chunk_log=True,
     )
     fallback = "msg"
     #: bit-identical to msg, so un-seeded tasks derive the same seeds on
@@ -184,6 +187,7 @@ class DirectBackend(SimulationBackend):
         staggered_starts=True,
         max_events=False,
         pooled_blocks=False,
+        chunk_log=True,
     )
     fallback = None
 
@@ -200,6 +204,7 @@ class DirectBackend(SimulationBackend):
             start_times=(
                 list(task.start_times) if task.start_times else None
             ),
+            record_chunks=task.collect_chunk_log,
         )
         return self.stamp_stats(sim.run(_scheduler_factory(task), seed))
 

@@ -9,10 +9,14 @@ Subcommands::
     repro-dls schedule --technique gss --n 1000 --p 4
     repro-dls simulate --technique fac2 --n 4096 --p 16 --dist exponential
     repro-dls stats journal.jsonl          # summarise a --trace journal
+    repro-dls trace-export journal.jsonl --out trace.json   # Perfetto
 
 The ``--simulator`` choices everywhere are the registered simulation
 backends (:mod:`repro.backends`); an unknown name fails with the list of
-registered backends.
+registered backends.  ``--trace FILE`` writes a JSONL run journal,
+``--metrics FILE`` exports campaign metrics (Prometheus text for
+``.prom``/``.txt``, JSON otherwise), and ``--progress`` renders live
+heartbeats to stderr.
 """
 
 from __future__ import annotations
@@ -96,6 +100,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE", default=None,
         help="write a JSONL run journal to FILE (see `repro-dls stats`)",
     )
+    simu.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="export run metrics to FILE (.prom/.txt: Prometheus text "
+             "exposition, otherwise JSON)",
+    )
+    simu.add_argument(
+        "--progress", action="store_true",
+        help="render live progress heartbeats to stderr",
+    )
 
     rec = sub.add_parser(
         "recommend",
@@ -131,6 +144,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE", default=None,
         help="write a JSONL run journal to FILE (see `repro-dls stats`)",
     )
+    campaign.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="export campaign metrics to FILE (.prom/.txt: Prometheus "
+             "text exposition, otherwise JSON)",
+    )
+    campaign.add_argument(
+        "--progress", action="store_true",
+        help="render live progress heartbeats to stderr",
+    )
 
     stats = sub.add_parser(
         "stats", help="summarise a JSONL run journal written by --trace"
@@ -139,6 +161,35 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--top", type=int, default=5,
         help="how many of the slowest tasks to list (default 5)",
+    )
+
+    trace_export = sub.add_parser(
+        "trace-export",
+        help="export a Chrome Trace Event JSON (Perfetto-loadable) from "
+             "a --trace journal or a freshly simulated run",
+    )
+    trace_export.add_argument(
+        "journal", nargs="?", default=None,
+        help="a JSONL run journal written by --trace (omit to simulate "
+             "one run instead; requires --technique/--n/--p)",
+    )
+    trace_export.add_argument(
+        "--out", "-o", metavar="FILE", required=True,
+        help="output path for the Chrome trace JSON",
+    )
+    trace_export.add_argument("--technique", default=None)
+    trace_export.add_argument("--n", type=int, default=None)
+    trace_export.add_argument("--p", type=int, default=None)
+    trace_export.add_argument("--h", type=float, default=0.0)
+    trace_export.add_argument(
+        "--dist",
+        choices=("constant", "exponential", "uniform", "gamma"),
+        default="exponential",
+    )
+    trace_export.add_argument("--mean", type=float, default=1.0)
+    trace_export.add_argument("--seed", type=int, default=0)
+    trace_export.add_argument(
+        "--simulator", choices=backend_names(), default="msg-fast",
     )
 
     files = sub.add_parser(
@@ -260,6 +311,22 @@ def _params_from_args(args: argparse.Namespace) -> SchedulingParams:
     )
 
 
+def _workload_from_args(args: argparse.Namespace):
+    from .workloads import (
+        ConstantWorkload,
+        ExponentialWorkload,
+        GammaWorkload,
+        UniformWorkload,
+    )
+
+    return {
+        "constant": lambda: ConstantWorkload(args.mean),
+        "exponential": lambda: ExponentialWorkload(args.mean),
+        "uniform": lambda: UniformWorkload(0.0, 2 * args.mean),
+        "gamma": lambda: GammaWorkload(2.0, args.mean / 2.0),
+    }[args.dist]()
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     params = _params_from_args(args)
     scheduler = get_technique(args.technique)(params)
@@ -276,21 +343,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     from .backends import drain_fallback_events
     from .experiments.runner import RunTask, run_campaign
-    from .obs import journal_to
-    from .workloads import (
-        ConstantWorkload,
-        ExponentialWorkload,
-        GammaWorkload,
-        UniformWorkload,
-    )
+    from .obs import journal_to, metrics_to, progress_to, stream_renderer
 
     params = _params_from_args(args)
-    workload = {
-        "constant": lambda: ConstantWorkload(args.mean),
-        "exponential": lambda: ExponentialWorkload(args.mean),
-        "uniform": lambda: UniformWorkload(0.0, 2 * args.mean),
-        "gamma": lambda: GammaWorkload(2.0, args.mean / 2.0),
-    }[args.dist]()
+    workload = _workload_from_args(args)
     # Which simulator executes is decided by the backend registry's
     # capability-checked resolution (repro.backends), not here; the
     # per-run integer seeds reproduce the historical CLI outputs
@@ -306,10 +362,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         dataclasses.replace(task, seed_entropy=(args.seed + i,))
         for i in range(args.runs)
     ]
-    trace = (
-        journal_to(args.trace) if args.trace else contextlib.nullcontext()
-    )
-    with trace:
+    with contextlib.ExitStack() as stack:
+        if args.trace:
+            stack.enter_context(journal_to(args.trace))
+        if args.metrics:
+            stack.enter_context(metrics_to(args.metrics))
+        if args.progress:
+            stack.enter_context(progress_to(stream_renderer()))
         results = run_campaign(tasks, processes=1)
     awt = [r.average_wasted_time for r in results]
     sp = [r.speedup for r in results]
@@ -323,6 +382,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  avg wasted time    : {statistics.mean(awt):.4f} s")
     print(f"  speedup            : {statistics.mean(sp):.3f} (ideal {args.p})")
     print(f"  scheduling chunks  : {statistics.mean(r.num_chunks for r in results):.1f}")
+    if args.metrics:
+        print(f"  wrote metrics {args.metrics}")
     return 0
 
 
@@ -345,7 +406,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     import contextlib
 
     from .experiments.campaign import run_full_campaign
-    from .obs import journal_to
+    from .obs import journal_to, metrics_to, progress_to, stream_renderer
 
     kwargs: dict = {}
     if args.quick:
@@ -354,10 +415,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         kwargs["include_tss"] = False
     kwargs["simulator"] = args.simulator
     kwargs["workers"] = args.workers
-    trace = (
-        journal_to(args.trace) if args.trace else contextlib.nullcontext()
-    )
-    with trace:
+    with contextlib.ExitStack() as stack:
+        if args.trace:
+            stack.enter_context(journal_to(args.trace))
+        if args.metrics:
+            stack.enter_context(metrics_to(args.metrics))
+        if args.progress:
+            stack.enter_context(progress_to(stream_renderer()))
         if args.out:
             with open(args.out, "w") as fh:
                 run_full_campaign(out=fh, **kwargs)
@@ -366,6 +430,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             run_full_campaign(**kwargs)
     if args.trace:
         print(f"wrote journal {args.trace}")
+    if args.metrics:
+        print(f"wrote metrics {args.metrics}")
     return 0
 
 
@@ -374,6 +440,58 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     records = load_journal(args.journal)
     print(summarize_journal(records, top=args.top))
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from .obs import (
+        chrome_trace_from_journal,
+        chrome_trace_from_results,
+        load_journal,
+        save_chrome_trace,
+    )
+
+    if args.journal is not None:
+        trace = chrome_trace_from_journal(load_journal(args.journal))
+        source = args.journal
+    else:
+        if args.technique is None or args.n is None or args.p is None:
+            print(
+                "trace-export: without a journal, --technique, --n and "
+                "--p are required to simulate a run",
+                file=sys.stderr,
+            )
+            return 2
+        from .experiments.runner import RunTask
+
+        task = RunTask(
+            technique=args.technique,
+            params=_params_from_args(args),
+            workload=_workload_from_args(args),
+            simulator=args.simulator,
+            seed_entropy=(args.seed,),
+            collect_chunk_log=True,
+        )
+        try:
+            result = task.execute()
+            trace = chrome_trace_from_results([result])
+        except ValueError as exc:
+            print(f"trace-export: {exc}", file=sys.stderr)
+            print(
+                "hint: pick a backend that records chunk logs "
+                "(msg, msg-fast, direct) or request fewer constraints",
+                file=sys.stderr,
+            )
+            return 2
+        source = f"{args.technique}(n={args.n}, p={args.p})"
+    save_chrome_trace(trace, args.out)
+    slices = sum(
+        1 for e in trace["traceEvents"] if e.get("ph") in ("X", "i", "C")
+    )
+    print(
+        f"wrote {args.out}: {slices} event(s) from {source} — load it "
+        "at https://ui.perfetto.dev or chrome://tracing"
+    )
     return 0
 
 
@@ -431,7 +549,17 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
     }[args.dist]()
     sim = DirectSimulator(params, workload, record_chunks=True)
     result = sim.run(get_technique(args.technique), seed=args.seed)
-    print(ascii_gantt(result, width=args.width))
+    try:
+        chart = ascii_gantt(result, width=args.width)
+    except ValueError as exc:
+        print(f"gantt: {exc}", file=sys.stderr)
+        print(
+            "hint: the run recorded no per-chunk log — rerun with a "
+            "simulator that records chunk logs (msg, msg-fast, direct)",
+            file=sys.stderr,
+        )
+        return 2
+    print(chart)
     print()
     print(utilization_summary(result))
     if args.paje:
@@ -460,6 +588,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_campaign(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "trace-export":
+        return _cmd_trace_export(args)
     if args.command == "simulate-files":
         return _cmd_simulate_files(args)
     if args.command == "gantt":

@@ -51,6 +51,8 @@ from ..backends import (
 from ..core.params import SchedulingParams
 from ..metrics.wasted_time import OverheadModel
 from ..obs import core as obs_core
+from ..obs import metrics as obs_metrics
+from ..obs import progress as obs_progress
 from ..obs.journal import RunJournal, active_journal
 from ..results import RunResult
 from ..simgrid.platform import Platform
@@ -95,6 +97,11 @@ class RunTask:
     start_times: tuple[float, ...] | None = None
     technique_kwargs: dict = field(default_factory=dict)
     seed_entropy: tuple[int, ...] = ()
+    #: populate ``RunResult.chunk_log`` (timeline export); backends that
+    #: cannot record one (direct-batch) degrade along their fallback
+    #: chain with a recorded event.  Excluded from seed derivation, so a
+    #: traced run reproduces the untraced run bit-for-bit.
+    collect_chunk_log: bool = False
 
     def _platform_key(self) -> str:
         """A content-based key for the platform (stable across processes).
@@ -210,8 +217,21 @@ def shutdown_pool() -> None:
 atexit.register(shutdown_pool)
 
 
+def _advance_progress(
+    tracker: obs_progress.ProgressTracker | None,
+    result: "RunResult | list[RunResult]",
+) -> None:
+    """Count one completed task (or block of replications) as progress."""
+    if tracker is None:
+        return
+    group = result if isinstance(result, list) else [result]
+    events = sum(r.stats.events for r in group if r.stats is not None)
+    tracker.advance(len(group), events)
+
+
 def _run_pooled(items: Sequence[RunTask | ReplicationBlock],
-                processes: int) -> list:
+                processes: int,
+                tracker: obs_progress.ProgressTracker | None = None) -> list:
     """Execute items (in order) over the persistent pool."""
     pool = _get_pool(processes)
     chunksize = max(1, len(items) // (processes * 4))
@@ -220,6 +240,7 @@ def _run_pooled(items: Sequence[RunTask | ReplicationBlock],
         _execute_indexed, list(enumerate(items)), chunksize=chunksize
     ):
         out[index] = result
+        _advance_progress(tracker, result)
     return out
 
 
@@ -284,15 +305,36 @@ def _journal_new_fallbacks(journal: RunJournal, seen_before: int) -> None:
         journal.write({"kind": "fallback", **event.to_json()})
 
 
-def _execute_tasks(tasks: Sequence[RunTask],
-                   processes: int | None) -> list[RunResult]:
+def _execute_tasks(
+    tasks: Sequence[RunTask],
+    processes: int | None,
+    tracker: obs_progress.ProgressTracker | None = None,
+) -> list[RunResult]:
     """Resolve every task in the parent, then execute (pooled or serial)."""
     for task in tasks:
         resolve_backend(task)
     processes = resolve_workers(processes)
     if processes <= 1 or len(tasks) <= 1:
-        return [task.execute() for task in tasks]
-    return _run_pooled(tasks, processes)
+        results = []
+        for task in tasks:
+            result = task.execute()
+            results.append(result)
+            _advance_progress(tracker, result)
+        return results
+    return _run_pooled(tasks, processes, tracker)
+
+
+def _record_campaign_metrics(
+    results: Sequence[RunResult], fallbacks_before: int
+) -> None:
+    """Fold results into the active metrics registry, if one is on."""
+    registry = obs_metrics.active_registry()
+    if registry is not None:
+        obs_metrics.record_results(
+            registry,
+            results,
+            new_fallbacks=len(peek_fallback_events()) - fallbacks_before,
+        )
 
 
 def run_campaign(tasks: Sequence[RunTask],
@@ -308,12 +350,24 @@ def run_campaign(tasks: Sequence[RunTask],
 
     When a run journal is active (:func:`repro.obs.set_journal`), one
     ``task`` record is written per task, plus a ``fallback`` record per
-    new capability degradation observed while resolving.
+    new capability degradation observed while resolving.  While a
+    progress sink is active (:func:`repro.obs.set_progress`, or the
+    journal itself), throttled heartbeats report tasks done/total,
+    events/s, ETA and fallback count; while a metrics registry is
+    active (:func:`repro.obs.set_registry`), results fold into its
+    campaign histograms.
     """
     journal = active_journal()
     fallbacks_before = len(peek_fallback_events())
+    tracker = obs_progress.campaign_tracker(
+        total=len(tasks), label="campaign", journal=journal,
+        fallback_baseline=fallbacks_before,
+    )
     with obs_core.span("run_campaign", tasks=len(tasks)):
-        results = _execute_tasks(tasks, processes)
+        results = _execute_tasks(tasks, processes, tracker)
+    if tracker is not None:
+        tracker.finish()
+    _record_campaign_metrics(results, fallbacks_before)
     if journal is not None:
         _journal_new_fallbacks(journal, fallbacks_before)
         for task, result in zip(tasks, results):
@@ -343,6 +397,10 @@ def run_replicated(task: RunTask, runs: int, campaign_seed: int | None = None,
     journal = active_journal()
     fallbacks_before = len(peek_fallback_events())
     backend = resolve_backend(task)
+    tracker = obs_progress.campaign_tracker(
+        total=runs, label=f"{task.technique} x{runs}", journal=journal,
+        fallback_baseline=fallbacks_before,
+    )
     with obs_core.span(
         "run_replicated", technique=task.technique, runs=runs
     ):
@@ -350,14 +408,23 @@ def run_replicated(task: RunTask, runs: int, campaign_seed: int | None = None,
         if blocks is not None:
             processes = resolve_workers(processes)
             if processes <= 1 or len(blocks) <= 1:
-                block_results = [block.execute() for block in blocks]
+                block_results = []
+                for block in blocks:
+                    group = block.execute()
+                    block_results.append(group)
+                    _advance_progress(tracker, group)
             else:
-                block_results = _run_pooled(blocks, processes)
+                block_results = _run_pooled(blocks, processes, tracker)
             results = [r for group in block_results for r in group]
         else:
             results = _execute_tasks(
-                expand_replications(task, runs, campaign_seed), processes
+                expand_replications(task, runs, campaign_seed),
+                processes,
+                tracker,
             )
+    if tracker is not None:
+        tracker.finish()
+    _record_campaign_metrics(results, fallbacks_before)
     if journal is not None:
         _journal_new_fallbacks(journal, fallbacks_before)
         journal.write(

@@ -24,11 +24,19 @@ Record schema (see ``docs/observability.md`` for the full table):
 ``{"kind": "fallback", "task": ..., "requested": ..., "chosen": ...,
 "reason": ...}``
     one capability degradation recorded during backend resolution.
+``{"kind": "progress", "done": ..., "total": ..., "elapsed_s": ...,
+"events_per_s": ..., "eta_s": ..., "fallbacks": ...}``
+    one live-progress heartbeat (:mod:`repro.obs.progress`).
+
+Every record additionally carries ``t_s`` — seconds since the journal
+opened — which lets ``repro-dls trace-export`` reconstruct a campaign
+timeline (:func:`repro.obs.timeline.chrome_trace_from_journal`).
 """
 
 from __future__ import annotations
 
 import json
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator
@@ -55,11 +63,18 @@ class RunJournal:
     def __init__(self, path: str | Path, mode: str = "w"):
         self.path = Path(path)
         self._fh = self.path.open(mode)
+        self._t0 = time.monotonic()
         self.records_written = 0
         self.write({"kind": "provenance", **capture_provenance()})
 
     def write(self, record: dict) -> None:
-        """Append one record as a single JSON line and flush."""
+        """Append one record as a single JSON line and flush.
+
+        Records are stamped with ``t_s`` (seconds since the journal
+        opened) unless the caller already set one.
+        """
+        if "t_s" not in record:
+            record = {**record, "t_s": round(time.monotonic() - self._t0, 6)}
         self._fh.write(json.dumps(record, sort_keys=False) + "\n")
         self._fh.flush()
         self.records_written += 1

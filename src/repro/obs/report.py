@@ -3,8 +3,9 @@
 Reads the JSONL journal written by :mod:`repro.obs.journal` and answers
 the questions an auditor asks first: what environment produced the runs,
 how fast was each backend (events per host second), which tasks
-dominated the wall time, and which requested backends silently — no
-longer silently — degraded to a fallback.
+dominated the wall time (with a wall-time histogram), and which
+requested backends silently — no longer silently — degraded to a
+fallback.
 """
 
 from __future__ import annotations
@@ -12,6 +13,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 from typing import Sequence
+
+from .metrics import Histogram
 
 __all__ = ["load_journal", "summarize_journal"]
 
@@ -68,6 +71,14 @@ def summarize_journal(
             f"REPRO_WORKERS={workers if workers else '-'}"
         )
 
+    if not tasks:
+        lines.append("")
+        lines.append(
+            "no task records — provenance-only journal; run a campaign "
+            "or `repro-dls simulate`/`campaign` with --trace to record "
+            "tasks"
+        )
+
     if tasks:
         per_backend: dict[str, dict[str, float]] = {}
         for record in tasks:
@@ -105,6 +116,26 @@ def summarize_journal(
                 f"{record.get('wall_time_s', 0.0):>8.3f}s "
                 f"({record.get('runs', 0)} run(s))"
             )
+
+        wall = Histogram("task_wall_seconds")
+        wall.observe_many(r.get("wall_time_s", 0.0) for r in tasks)
+        lines.append("")
+        lines.append(
+            "task wall-time histogram "
+            f"(mean {wall.mean:.3f}s, max {wall.max:.3f}s):"
+        )
+        lines.append(wall.format_ascii(width=32))
+
+    progress = [r for r in records if r.get("kind") == "progress"]
+    if progress:
+        last = progress[-1]
+        lines.append("")
+        lines.append(
+            f"progress: {len(progress)} heartbeat(s), last at "
+            f"{last.get('elapsed_s', 0.0):.2f}s — "
+            f"{last.get('done', '?')}/{last.get('total', '?')} done, "
+            f"{last.get('events_per_s', 0.0):,.0f} ev/s"
+        )
 
     if fallbacks:
         counts: dict[tuple[str, str, str], int] = {}

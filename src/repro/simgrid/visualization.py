@@ -1,16 +1,35 @@
-"""Schedule visualisation: ASCII Gantt charts and Paje trace export.
+"""Schedule visualisation: ASCII Gantt charts and trace re-exports.
 
-SimGrid exports Paje traces for visualisation in Vite/Paje; this module
-provides the same capability for the chunk-execution logs both
-simulators can record (``record_chunks=True``), plus a terminal Gantt
-renderer for quick inspection of load balance.
+The terminal Gantt renderer and the per-worker utilisation table live
+here; the trace *exporters* — Paje (SimGrid's format) and the Chrome
+Trace Event Format — moved to :mod:`repro.obs.timeline`, which this
+module re-exports (``paje_trace``, ``save_paje_trace``,
+``worker_timelines``) so existing imports keep working.
+
+Every renderer requires the run to carry a chunk log; a run without one
+fails with an actionable error naming the flags that record one
+(``record_chunks=True`` on the simulators, ``collect_chunk_log=True``
+on :class:`~repro.experiments.runner.RunTask`).
 """
 
 from __future__ import annotations
 
-from pathlib import Path
-
+from ..obs.timeline import (  # noqa: F401  (back-compat re-exports)
+    paje_trace,
+    require_chunk_log,
+    save_paje_trace,
+    worker_timelines,
+)
 from ..results import ChunkExecution, RunResult
+
+__all__ = [
+    "ascii_gantt",
+    "paje_trace",
+    "require_chunk_log",
+    "save_paje_trace",
+    "utilization_summary",
+    "worker_timelines",
+]
 
 
 def ascii_gantt(
@@ -22,13 +41,10 @@ def ascii_gantt(
 
     Each worker gets one row; chunk executions are painted with cycling
     glyphs so adjacent chunks are distinguishable; idle time shows as
-    dots.  Requires the run to have been recorded with
-    ``record_chunks=True``.
+    dots.  Requires the run to carry a chunk log (see
+    :func:`repro.obs.timeline.require_chunk_log`).
     """
-    if not result.chunk_log:
-        raise ValueError(
-            "run has no chunk log; simulate with record_chunks=True"
-        )
+    require_chunk_log(result, action="render a Gantt chart")
     makespan = result.makespan
     if makespan <= 0:
         return "(empty schedule)"
@@ -78,93 +94,3 @@ def utilization_summary(result: RunResult) -> str:
             f"{result.compute_times[w]:>11.3f}"
         )
     return "\n".join(lines)
-
-
-# -- Paje export ------------------------------------------------------------
-
-_PAJE_HEADER = """\
-%EventDef PajeDefineContainerType 0
-%       Alias string
-%       Type string
-%       Name string
-%EndEventDef
-%EventDef PajeDefineStateType 1
-%       Alias string
-%       Type string
-%       Name string
-%EndEventDef
-%EventDef PajeCreateContainer 2
-%       Time date
-%       Alias string
-%       Type string
-%       Container string
-%       Name string
-%EndEventDef
-%EventDef PajeSetState 3
-%       Time date
-%       Type string
-%       Container string
-%       Value string
-%EndEventDef
-%EventDef PajeDestroyContainer 4
-%       Time date
-%       Type string
-%       Name string
-%EndEventDef
-"""
-
-
-def paje_trace(result: RunResult) -> str:
-    """Serialise a recorded run to a Paje trace (SimGrid's format).
-
-    Containers: one per worker.  States: ``compute`` during chunk
-    execution, ``idle`` otherwise.  Loadable by Paje/Vite-compatible
-    tools.
-    """
-    if not result.chunk_log:
-        raise ValueError(
-            "run has no chunk log; simulate with record_chunks=True"
-        )
-    out = [_PAJE_HEADER]
-    out.append('0 CT_Platform 0 "Platform"')
-    out.append('0 CT_Worker CT_Platform "Worker"')
-    out.append('1 ST_WorkerState CT_Worker "Worker State"')
-    out.append('2 0.000000 C_platform CT_Platform 0 "platform"')
-    for w in range(result.p):
-        out.append(
-            f'2 0.000000 C_w{w} CT_Worker C_platform "worker-{w}"'
-        )
-        out.append(f'3 0.000000 ST_WorkerState C_w{w} "idle"')
-    events: list[tuple[float, int, str]] = []
-    for ce in sorted(result.chunk_log, key=lambda c: c.start_time):
-        w = ce.record.worker
-        events.append((ce.start_time, 1, f'ST_WorkerState C_w{w} "compute"'))
-        events.append((ce.end_time, 0, f'ST_WorkerState C_w{w} "idle"'))
-    events.sort(key=lambda e: (e[0], e[1]))
-    for time, _, body in events:
-        out.append(f"3 {time:.6f} {body}")
-    for w in range(result.p):
-        out.append(f"4 {result.makespan:.6f} CT_Worker C_w{w}")
-    out.append(f"4 {result.makespan:.6f} CT_Platform C_platform")
-    return "\n".join(out) + "\n"
-
-
-def save_paje_trace(result: RunResult, path: str | Path) -> None:
-    """Write :func:`paje_trace` output to ``path``."""
-    Path(path).write_text(paje_trace(result))
-
-
-def worker_timelines(result: RunResult) -> dict[int, list[tuple[float, float]]]:
-    """Per-worker (start, end) execution windows from the chunk log."""
-    if not result.chunk_log:
-        raise ValueError(
-            "run has no chunk log; simulate with record_chunks=True"
-        )
-    out: dict[int, list[tuple[float, float]]] = {
-        w: [] for w in range(result.p)
-    }
-    for ce in result.chunk_log:
-        out[ce.record.worker].append((ce.start_time, ce.end_time))
-    for windows in out.values():
-        windows.sort()
-    return out

@@ -266,3 +266,75 @@ class TestTraceAndStats:
         assert code == 0
         assert "GSS on msg" in capsys.readouterr().out
         assert list(tmp_path.iterdir()) == []
+
+    def test_stats_on_provenance_only_journal(self, capsys, tmp_path):
+        from repro.obs import journal_to
+
+        journal = tmp_path / "empty.jsonl"
+        with journal_to(journal):
+            pass  # a journal with only the provenance line
+        assert main(["stats", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "no task records" in out
+        assert "provenance-only" in out
+
+    def test_simulate_writes_metrics(self, capsys, tmp_path):
+        metrics = tmp_path / "m.prom"
+        code = main([
+            "simulate", "--technique", "fac2", "--n", "64", "--p", "4",
+            "--dist", "constant", "--simulator", "msg-fast",
+            "--metrics", str(metrics),
+        ])
+        assert code == 0
+        text = metrics.read_text()
+        assert "repro_runs_total 1" in text
+        assert 'le="+Inf"' in text
+
+
+class TestTraceExport:
+    def test_export_from_journal(self, capsys, tmp_path):
+        import json
+
+        journal = tmp_path / "journal.jsonl"
+        assert main([
+            "simulate", "--technique", "fac2", "--n", "64", "--p", "4",
+            "--dist", "constant", "--runs", "2",
+            "--simulator", "msg-fast", "--trace", str(journal),
+        ]) == 0
+        out_path = tmp_path / "trace.json"
+        assert main([
+            "trace-export", str(journal), "--out", str(out_path),
+        ]) == 0
+        assert "ui.perfetto.dev" in capsys.readouterr().out
+        trace = json.loads(out_path.read_text())
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 2
+        groups = [
+            e["args"]["name"] for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert "backend: msg-fast" in groups
+
+    def test_export_simulated_run(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        code = main([
+            "trace-export", "--technique", "gss", "--n", "128", "--p", "4",
+            "--dist", "constant", "--out", str(out_path),
+        ])
+        assert code == 0
+        trace = json.loads(out_path.read_text())
+        threads = {
+            e["args"]["name"] for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert threads <= {f"worker-{w}" for w in range(4)}
+        assert [e for e in trace["traceEvents"] if e["ph"] == "X"]
+
+    def test_simulation_mode_requires_workload_args(self, capsys, tmp_path):
+        code = main([
+            "trace-export", "--out", str(tmp_path / "t.json"),
+        ])
+        assert code == 2
+        assert "--technique" in capsys.readouterr().err
