@@ -8,8 +8,11 @@ PRs can diff wall-clock numbers without re-running the baselines:
 * ``--pr1`` — batch kernel vs scalar direct simulator (BENCH_PR1.json)
 * ``--pr2`` — MSG fast path vs event-driven master-worker simulator
   (BENCH_PR2.json)
+* ``--pr6`` — cold vs warm result-cached quick campaign
+  (BENCH_PR6.json)
 
-Usage:  PYTHONPATH=src python scripts/bench_snapshot.py [--pr1|--pr2] [out.json]
+Usage:  PYTHONPATH=src python scripts/bench_snapshot.py
+            [--pr1|--pr2|--pr6] [out.json]
 
 With no selector both snapshots are written to their default files.
 """
@@ -103,9 +106,60 @@ def snapshot_pr2() -> dict[str, float]:
     return out
 
 
+def _stable_report(text: str) -> str:
+    """A campaign report with the run-dependent timing lines removed."""
+    return "\n".join(
+        line for line in text.splitlines()
+        if "took" not in line and "campaign time" not in line
+    )
+
+
+def snapshot_pr6() -> dict:
+    """Cold vs warm result-cached quick campaign (the PR-6 headline).
+
+    Runs the quick campaign twice against a throwaway cache directory;
+    the second pass must be served entirely from the cache, report the
+    same science (modulo wall-clock lines), and come in at least an
+    order of magnitude faster — the committed snapshot records the
+    measured speedup.
+    """
+    import io
+    import tempfile
+
+    from repro.experiments.campaign import run_full_campaign
+
+    quick = dict(
+        campaign_runs={1024: 5, 8192: 3}, fig9_runs=50,
+        include_tss=False, simulator="msg-fast",
+    )
+    with tempfile.TemporaryDirectory() as root:
+        cold_out = io.StringIO()
+        t0 = time.perf_counter()
+        run_full_campaign(out=cold_out, cache=root, **quick)
+        cold = time.perf_counter() - t0
+
+        warm_out = io.StringIO()
+        t0 = time.perf_counter()
+        run_full_campaign(out=warm_out, cache=root, **quick)
+        warm = time.perf_counter() - t0
+    assert _stable_report(cold_out.getvalue()) == _stable_report(
+        warm_out.getvalue()
+    ), "warm campaign diverged from cold campaign"
+    return {
+        "_meta_workload": (
+            "quick campaign (fig5 x5, fig6 x3, fig9 x50 runs, msg-fast) "
+            "cold vs fully cached re-run, one process pool"
+        ),
+        "cold_quick_campaign_s": round(cold, 3),
+        "warm_quick_campaign_s": round(warm, 3),
+        "warm_speedup": round(cold / warm, 1),
+    }
+
+
 SNAPSHOTS = {
     "--pr1": (snapshot_pr1, "BENCH_PR1.json"),
     "--pr2": (snapshot_pr2, "BENCH_PR2.json"),
+    "--pr6": (snapshot_pr6, "BENCH_PR6.json"),
 }
 
 
@@ -128,7 +182,7 @@ def main() -> None:
         selected = list(SNAPSHOTS)
     if paths and len(selected) != 1:
         raise SystemExit("an explicit output path needs exactly one of "
-                         "--pr1/--pr2")
+                         "--pr1/--pr2/--pr6")
     for flag in selected:
         fn, default_name = SNAPSHOTS[flag]
         target = Path(paths[0]) if paths else root / default_name

@@ -180,6 +180,11 @@ class SimulationBackend(ABC):
     #: bit-identical to another backend share its namespace so un-seeded
     #: tasks derive the same seeds on both (e.g. msg-fast uses "msg").
     entropy_namespace: ClassVar[str] = ""
+    #: version of this backend's *results*.  Folded into result-cache
+    #: keys (``repro.cache``) through the entropy-namespace backend:
+    #: bump it when an intentional simulator change alters simulated
+    #: observables, so every cached result it produced misses cleanly.
+    result_version: ClassVar[int] = 1
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)

@@ -10,6 +10,7 @@ Subcommands::
     repro-dls simulate --technique fac2 --n 4096 --p 16 --dist exponential
     repro-dls stats journal.jsonl          # summarise a --trace journal
     repro-dls trace-export journal.jsonl --out trace.json   # Perfetto
+    repro-dls cache stats ~/.repro-cache   # result-cache inspection
 
 The ``--simulator`` choices everywhere are the registered simulation
 backends (:mod:`repro.backends`); an unknown name fails with the list of
@@ -17,6 +18,13 @@ registered backends.  ``--trace FILE`` writes a JSONL run journal,
 ``--metrics FILE`` exports campaign metrics (Prometheus text for
 ``.prom``/``.txt``, JSON otherwise), and ``--progress`` renders live
 heartbeats to stderr.
+
+``--cache DIR`` serves repeat runs from the content-addressed result
+cache (:mod:`repro.cache`) and stores fresh ones; the ``REPRO_CACHE``
+environment variable supplies a default directory and ``--no-cache``
+turns caching off regardless.  ``--cache-verify F`` re-simulates the
+fraction ``F`` of cache hits and fails loudly if a stored result
+diverges from a fresh one.
 """
 
 from __future__ import annotations
@@ -30,6 +38,34 @@ from .backends import backend_names
 from .core.base import chunk_sizes
 from .core.params import SchedulingParams
 from .core.registry import get_technique, iter_techniques
+
+
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    """The result-cache knobs shared by run/simulate/campaign."""
+    parser.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="serve repeat runs from the result cache at DIR and store "
+             "fresh ones (default: the REPRO_CACHE environment variable; "
+             "unset = no caching)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable result caching even when REPRO_CACHE is set",
+    )
+    parser.add_argument(
+        "--cache-verify", type=float, default=0.0, metavar="FRACTION",
+        help="re-simulate this fraction of cache hits and fail loudly "
+             "when a stored result diverges from a fresh run (default 0)",
+    )
+
+
+def _cache_dir_from_args(args: argparse.Namespace) -> str | None:
+    """The cache directory the flags select (None = caching off)."""
+    from .cache import default_cache_dir
+
+    if args.no_cache:
+        return None
+    return args.cache or default_cache_dir()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None,
                      help="replication process-pool size (default: "
                           "REPRO_WORKERS env var or CPU count)")
+    _add_cache_options(run)
 
     sub.add_parser("techniques", help="list DLS techniques and requirements")
 
@@ -109,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="render live progress heartbeats to stderr",
     )
+    _add_cache_options(simu)
 
     rec = sub.add_parser(
         "recommend",
@@ -152,6 +190,35 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--progress", action="store_true",
         help="render live progress heartbeats to stderr",
+    )
+    _add_cache_options(campaign)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain a result cache (see docs/caching.md)",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "entry count, size, and hit/miss counters per session"),
+        ("clear", "remove every cached entry and session record"),
+        ("gc", "collect stale-schema, aged, or over-budget entries"),
+    ):
+        cache_cmd = cache_sub.add_parser(name, help=help_text)
+        cache_cmd.add_argument(
+            "dir", nargs="?", default=None,
+            help="cache directory (default: REPRO_CACHE env var)",
+        )
+    cache_sub.choices["stats"].add_argument(
+        "--json", action="store_true",
+        help="machine-readable output instead of the human summary",
+    )
+    cache_sub.choices["gc"].add_argument(
+        "--max-age-days", type=float, default=None,
+        help="additionally remove entries older than this many days",
+    )
+    cache_sub.choices["gc"].add_argument(
+        "--max-bytes", type=int, default=None,
+        help="evict oldest entries until the store fits this many bytes",
     )
 
     stats = sub.add_parser(
@@ -256,6 +323,9 @@ _RUN_KNOBS: dict[str, frozenset[str]] = {
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from .cache import cache_to
     from .experiments.descriptors import get_experiment
 
     kwargs: dict = {}
@@ -270,7 +340,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     exp = get_experiment(args.experiment)
     allowed = _RUN_KNOBS.get(args.experiment, frozenset())
     kwargs = {k: v for k, v in kwargs.items() if k in allowed}
-    print(exp.run(**kwargs))
+    cache_dir = _cache_dir_from_args(args)
+    with contextlib.ExitStack() as stack:
+        if cache_dir is not None:
+            stack.enter_context(
+                cache_to(cache_dir, verify_fraction=args.cache_verify)
+            )
+        print(exp.run(**kwargs))
     return 0
 
 
@@ -342,6 +418,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     import statistics
 
     from .backends import drain_fallback_events
+    from .cache import cache_to
     from .experiments.runner import RunTask, run_campaign
     from .obs import journal_to, metrics_to, progress_to, stream_renderer
 
@@ -362,6 +439,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         dataclasses.replace(task, seed_entropy=(args.seed + i,))
         for i in range(args.runs)
     ]
+    cache_dir = _cache_dir_from_args(args)
     with contextlib.ExitStack() as stack:
         if args.trace:
             stack.enter_context(journal_to(args.trace))
@@ -369,6 +447,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             stack.enter_context(metrics_to(args.metrics))
         if args.progress:
             stack.enter_context(progress_to(stream_renderer()))
+        cache = None
+        if cache_dir is not None:
+            cache = stack.enter_context(
+                cache_to(cache_dir, verify_fraction=args.cache_verify)
+            )
         results = run_campaign(tasks, processes=1)
     awt = [r.average_wasted_time for r in results]
     sp = [r.speedup for r in results]
@@ -384,6 +467,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  scheduling chunks  : {statistics.mean(r.num_chunks for r in results):.1f}")
     if args.metrics:
         print(f"  wrote metrics {args.metrics}")
+    if cache is not None:
+        s = cache.stats
+        print(
+            f"  cache              : {s.hits} hit(s), {s.misses} "
+            f"miss(es), {s.stores} store(s) in {cache_dir}"
+        )
     return 0
 
 
@@ -415,6 +504,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         kwargs["include_tss"] = False
     kwargs["simulator"] = args.simulator
     kwargs["workers"] = args.workers
+    cache_dir = _cache_dir_from_args(args)
+    if cache_dir is not None:
+        kwargs["cache"] = cache_dir
+        kwargs["cache_verify"] = args.cache_verify
     with contextlib.ExitStack() as stack:
         if args.trace:
             stack.enter_context(journal_to(args.trace))
@@ -432,6 +525,83 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"wrote journal {args.trace}")
     if args.metrics:
         print(f"wrote metrics {args.metrics}")
+    if cache_dir is not None:
+        print(f"result cache: {cache_dir} (see `repro-dls cache stats`)")
+    return 0
+
+
+def _format_bytes(count: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return f"{count:.1f} {unit}" if unit != "B" else f"{count:.0f} B"
+        count /= 1024
+    raise AssertionError  # pragma: no cover
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .cache import ResultCache, default_cache_dir
+
+    root = args.dir or default_cache_dir()
+    if root is None:
+        print(
+            "cache: no directory given and REPRO_CACHE is not set",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ResultCache(root)
+
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"cleared {root}: removed {removed} entr(ies)")
+        return 0
+
+    if args.cache_command == "gc":
+        max_age_s = (
+            args.max_age_days * 86400.0
+            if args.max_age_days is not None else None
+        )
+        removed, remaining = cache.gc(
+            max_age_s=max_age_s, max_bytes=args.max_bytes
+        )
+        cache.flush_session()
+        print(
+            f"gc {root}: removed {removed} entr(ies), "
+            f"{cache.entry_count()} remaining "
+            f"({_format_bytes(remaining)})"
+        )
+        return 0
+
+    summary = cache.describe_store()
+    if args.json:
+        print(_json.dumps(summary, indent=1))
+        return 0
+    print(
+        f"cache {summary['root']}: {summary['entries']} entr(ies), "
+        f"{_format_bytes(summary['total_bytes'])}, "
+        f"schema v{summary['schema']}"
+    )
+    last = summary["last_session"]
+    if last is None:
+        print("no recorded sessions yet")
+        return 0
+    print(
+        f"last session (pid {last.get('pid', '?')}): "
+        f"{last.get('hits', 0)} hit(s), {last.get('misses', 0)} miss(es), "
+        f"{last.get('stores', 0)} store(s), "
+        f"{last.get('verified', 0)} verified — "
+        f"hit-rate {last.get('hit_rate_percent', 0.0):.1f}%, "
+        f"est. {last.get('saved_wall_s', 0.0):.2f}s of simulation saved"
+    )
+    life = summary["lifetime"]
+    print(
+        f"lifetime ({summary['sessions']} session(s)): "
+        f"{life['hits']} hit(s), {life['misses']} miss(es), "
+        f"{life['stores']} store(s), {life['evictions']} eviction(s), "
+        f"hit-rate {life['hit_rate_percent']:.1f}%, "
+        f"est. {life['saved_wall_s']:.2f}s saved"
+    )
     return 0
 
 
@@ -586,6 +756,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_recommend(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "trace-export":

@@ -25,6 +25,8 @@ def run_full_campaign(
     include_tss: bool = True,
     simulator: str = "msg",
     workers: int | None = None,
+    cache: "str | None" = None,
+    cache_verify: float = 0.0,
 ) -> float:
     """Run everything; returns the total wall time in seconds.
 
@@ -36,13 +38,41 @@ def run_full_campaign(
     and the degradations are reported per figure.  ``workers`` sizes the
     replication process pool; it defaults to the ``REPRO_WORKERS``
     environment variable or the CPU count.
+
+    ``cache`` names a result-cache directory (:mod:`repro.cache`): every
+    replication sweep is looked up there first and only the cells that
+    miss are simulated, so re-running an identical campaign is ~instant
+    and concurrent campaigns share work.  ``cache_verify`` re-simulates
+    that fraction of cache hits and fails loudly on divergence.  A cache
+    already activated by the caller (:func:`repro.cache.set_cache`) is
+    used as-is.
     """
-    import sys
+    import contextlib
 
     from ..backends import get_backend
-    from .descriptors import EXPERIMENTS
+    from ..cache import cache_to
 
     get_backend(simulator)  # fail fast on unknown backends
+
+    with contextlib.ExitStack() as stack:
+        if cache is not None:
+            stack.enter_context(cache_to(cache, verify_fraction=cache_verify))
+        return _run_full_campaign_body(
+            out, campaign_runs, fig9_runs, include_tss, simulator, workers
+        )
+
+
+def _run_full_campaign_body(
+    out: TextIO | None,
+    campaign_runs: Mapping[int, int] | None,
+    fig9_runs: int,
+    include_tss: bool,
+    simulator: str,
+    workers: int | None,
+) -> float:
+    import sys
+
+    from .descriptors import EXPERIMENTS
 
     stream = out if out is not None else sys.stdout
 

@@ -43,11 +43,16 @@ import numpy as np
 
 from ..backends import (
     BATCH_BLOCK_RUNS,
+    FallbackEvent,
     ReplicationBlock,
+    SimulationBackend,
     get_backend,
     peek_fallback_events,
+    record_fallback,
     resolve_backend,
 )
+from ..cache import ResultCache, active_cache
+from ..cache import suspended as cache_suspended
 from ..core.params import SchedulingParams
 from ..metrics.wasted_time import OverheadModel
 from ..obs import core as obs_core
@@ -149,9 +154,106 @@ class RunTask:
         return np.random.SeedSequence(entropy=list(entropy))
 
     def execute(self) -> RunResult:
-        """Run this task on its resolved backend and return the result."""
-        backend = resolve_backend(self)
-        return backend.run(self, self.seed_sequence())
+        """Run this task on its resolved backend and return the result.
+
+        While a result cache is active (:func:`repro.cache.set_cache` /
+        ``--cache``), the run is served from the cache when its content
+        key hits, and stored after simulating when it misses.
+        """
+        cache = active_cache()
+        if cache is None:
+            return _uncached_execute(self)
+        return _cached_execute(cache, self)
+
+
+def _uncached_execute(task: RunTask) -> RunResult:
+    """Resolve and run ``task``, bypassing any active result cache."""
+    backend = resolve_backend(task)
+    return backend.run(task, task.seed_sequence())
+
+
+def _cache_describe(task: RunTask, runs: int,
+                    campaign_seed: int | None = None) -> dict:
+    """The human-readable identity block of a task's cache records."""
+    describe = {
+        "technique": task.technique,
+        "n": task.params.n,
+        "p": task.params.p,
+        "simulator": task.simulator,
+        "runs": runs,
+    }
+    if campaign_seed is not None:
+        describe["campaign_seed"] = campaign_seed
+    return describe
+
+
+def _stats_wall(results: Sequence[RunResult]) -> float:
+    """Host-seconds of simulation in ``results`` (saved-time estimate)."""
+    return sum(r.stats.wall_time for r in results if r.stats is not None)
+
+
+def _task_fallbacks(task: RunTask) -> list:
+    """Every recorded fallback event that names ``task``'s cell.
+
+    The process-wide log deduplicates per (cell, hop), so re-resolving a
+    cell records nothing new — a store must therefore scan the whole log
+    (not just events after some baseline) or a cell resolved earlier in
+    the process would cache an entry with empty fallback provenance.
+    """
+    key = SimulationBackend.task_key(task)
+    return [e for e in peek_fallback_events() if e.task_key == key]
+
+
+def _replay_entry_fallbacks(entry) -> None:
+    """Re-record the fallback events stored in a cache entry's provenance.
+
+    A hit never resolves a backend, so without replay a fully cached
+    campaign would report zero degradations even though the stored
+    results were produced by a fallback backend.  The process-wide log
+    deduplicates, so repeated hits of one cell report once, exactly
+    like repeated fresh resolutions.
+    """
+    for event in entry.provenance.get("fallbacks", ()):
+        try:
+            record_fallback(FallbackEvent(
+                task_key=event["task"],
+                requested=event["requested"],
+                chosen=event["chosen"],
+                reason=event["reason"],
+            ))
+        except (KeyError, TypeError):  # foreign/legacy provenance shape
+            continue
+
+
+def _cached_execute(cache: ResultCache, task: RunTask) -> RunResult:
+    """One run through the cache: serve a hit or simulate-and-store."""
+    key = cache.task_key(task)
+    describe = _cache_describe(task, runs=1)
+    entry = cache.get(key, describe=describe)
+    if entry is not None:
+        cache.maybe_verify(
+            key, entry, lambda: _fresh_results([task]), describe=describe
+        )
+        _replay_entry_fallbacks(entry)
+        return entry.results[0]
+    with cache_suspended():
+        result = _uncached_execute(task)
+    cache.put(
+        key,
+        [result],
+        describe=describe,
+        wall_time_s=_stats_wall([result]),
+        backend=result.stats.backend if result.stats else "",
+        fallbacks=_task_fallbacks(task),
+        platform=task.platform,
+    )
+    return result
+
+
+def _fresh_results(tasks: Sequence[RunTask]) -> list[RunResult]:
+    """Cache-blind re-simulation (the ``--cache-verify`` recompute)."""
+    with cache_suspended():
+        return [_uncached_execute(task) for task in tasks]
 
 
 def _execute_task(task: RunTask) -> RunResult:
@@ -193,13 +295,27 @@ _POOL: multiprocessing.pool.Pool | None = None
 _POOL_SIZE: int = 0
 
 
+def _pool_worker_init() -> None:
+    """Per-worker initialisation: drop any inherited active cache.
+
+    Cache traffic is a parent-process concern (lookups partition the
+    work before pooling; stores happen after results return), so a
+    forked worker must not repeat lookups or flush session stats.
+    """
+    from ..cache import deactivate_in_worker
+
+    deactivate_in_worker()
+
+
 def _get_pool(processes: int) -> multiprocessing.pool.Pool:
     """The shared pool, (re)created only when the size changes."""
     global _POOL, _POOL_SIZE
     if _POOL is not None and _POOL_SIZE != processes:
         shutdown_pool()
     if _POOL is None:
-        _POOL = multiprocessing.Pool(processes=processes)
+        _POOL = multiprocessing.Pool(
+            processes=processes, initializer=_pool_worker_init
+        )
         _POOL_SIZE = processes
     return _POOL
 
@@ -348,30 +464,73 @@ def run_campaign(tasks: Sequence[RunTask],
     count; with one process (or one task) the loop stays in-process,
     avoiding pickling overhead.  Results are returned in task order.
 
+    While a result cache is active (:func:`repro.cache.set_cache` /
+    ``--cache``), every task is looked up in the parent process first:
+    hits are served from disk (one ``cache`` journal record each) and
+    only the misses are simulated — then stored, so the next campaign
+    sharing the cache skips them too.
+
     When a run journal is active (:func:`repro.obs.set_journal`), one
-    ``task`` record is written per task, plus a ``fallback`` record per
-    new capability degradation observed while resolving.  While a
-    progress sink is active (:func:`repro.obs.set_progress`, or the
-    journal itself), throttled heartbeats report tasks done/total,
-    events/s, ETA and fallback count; while a metrics registry is
-    active (:func:`repro.obs.set_registry`), results fold into its
-    campaign histograms.
+    ``task`` record is written per freshly simulated task, plus a
+    ``fallback`` record per new capability degradation observed while
+    resolving.  While a progress sink is active
+    (:func:`repro.obs.set_progress`, or the journal itself), throttled
+    heartbeats report tasks done/total, events/s, ETA and fallback
+    count; while a metrics registry is active
+    (:func:`repro.obs.set_registry`), freshly simulated results fold
+    into its campaign histograms (cache traffic feeds the dedicated
+    ``cache_*`` counters instead).
     """
     journal = active_journal()
+    cache = active_cache()
     fallbacks_before = len(peek_fallback_events())
+    results: list[RunResult | None] = [None] * len(tasks)
+    miss_indices = list(range(len(tasks)))
+    if cache is not None:
+        miss_indices = []
+        for index, task in enumerate(tasks):
+            key = cache.task_key(task)
+            describe = _cache_describe(task, runs=1)
+            entry = cache.get(key, describe=describe)
+            if entry is None:
+                miss_indices.append(index)
+                continue
+            cache.maybe_verify(
+                key, entry,
+                lambda task=task: _fresh_results([task]),
+                describe=describe,
+            )
+            _replay_entry_fallbacks(entry)
+            results[index] = entry.results[0]
+    miss_tasks = [tasks[i] for i in miss_indices]
     tracker = obs_progress.campaign_tracker(
-        total=len(tasks), label="campaign", journal=journal,
+        total=len(miss_tasks), label="campaign", journal=journal,
         fallback_baseline=fallbacks_before,
-    )
+    ) if miss_tasks else None
     with obs_core.span("run_campaign", tasks=len(tasks)):
-        results = _execute_tasks(tasks, processes, tracker)
+        with cache_suspended():
+            fresh = _execute_tasks(miss_tasks, processes, tracker)
     if tracker is not None:
         tracker.finish()
-    _record_campaign_metrics(results, fallbacks_before)
+    for index, result in zip(miss_indices, fresh):
+        results[index] = result
+    if cache is not None:
+        for index, result in zip(miss_indices, fresh):
+            task = tasks[index]
+            cache.put(
+                cache.task_key(task),
+                [result],
+                describe=_cache_describe(task, runs=1),
+                wall_time_s=_stats_wall([result]),
+                backend=result.stats.backend if result.stats else "",
+                fallbacks=_task_fallbacks(task),
+                platform=task.platform,
+            )
+    _record_campaign_metrics(fresh, fallbacks_before)
     if journal is not None:
         _journal_new_fallbacks(journal, fallbacks_before)
-        for task, result in zip(tasks, results):
-            journal.write(_journal_task_record(task, [result]))
+        for index, result in zip(miss_indices, fresh):
+            journal.write(_journal_task_record(tasks[index], [result]))
     return results
 
 
@@ -388,12 +547,64 @@ def run_replicated(task: RunTask, runs: int, campaign_seed: int | None = None,
     chunk-schedule precomputation; everything else takes the per-run
     scalar path.
 
-    When a run journal is active, the whole replication sweep is one
+    While a result cache is active, the *whole sweep* is one cache
+    entry keyed by (task identity, ``runs``, ``campaign_seed``): a hit
+    returns every replication from disk (one ``cache`` journal record,
+    no ``task`` record) and replays the entry's stored fallback events
+    so degradation reporting stays faithful; a miss simulates as usual
+    and stores the sweep for the next campaign.
+
+    When a run journal is active, a freshly simulated sweep is one
     ``task`` record (stats aggregated over all replications), plus a
     ``fallback`` record per new degradation.
     """
     if runs < 1:
         raise ValueError("runs must be >= 1")
+    cache = active_cache()
+    if cache is None:
+        return _run_replicated_fresh(task, runs, campaign_seed, processes)
+    key = cache.sweep_key(task, runs, campaign_seed)
+    describe = _cache_describe(task, runs, campaign_seed)
+    entry = cache.get(key, describe=describe)
+    if entry is not None:
+        cache.maybe_verify(
+            key,
+            entry,
+            lambda: _fresh_sweep(task, runs, campaign_seed, processes),
+            describe=describe,
+        )
+        _replay_entry_fallbacks(entry)
+        return list(entry.results)
+    with cache_suspended():
+        results = _run_replicated_fresh(task, runs, campaign_seed, processes)
+    backend = next(
+        (r.stats.backend for r in results if r.stats is not None), ""
+    )
+    cache.put(
+        key,
+        results,
+        kind="sweep",
+        describe=describe,
+        wall_time_s=_stats_wall(results),
+        backend=backend,
+        fallbacks=_task_fallbacks(task),
+        platform=task.platform,
+    )
+    return results
+
+
+def _fresh_sweep(task: RunTask, runs: int, campaign_seed: int | None,
+                 processes: int | None) -> list[RunResult]:
+    """Cache-blind sweep re-simulation (the ``--cache-verify`` recompute)."""
+    with cache_suspended():
+        return _run_replicated_fresh(task, runs, campaign_seed, processes)
+
+
+def _run_replicated_fresh(
+    task: RunTask, runs: int, campaign_seed: int | None,
+    processes: int | None,
+) -> list[RunResult]:
+    """Simulate a replication sweep (the pre-cache ``run_replicated``)."""
     journal = active_journal()
     fallbacks_before = len(peek_fallback_events())
     backend = resolve_backend(task)

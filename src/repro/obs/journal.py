@@ -27,6 +27,11 @@ Record schema (see ``docs/observability.md`` for the full table):
 ``{"kind": "progress", "done": ..., "total": ..., "elapsed_s": ...,
 "events_per_s": ..., "eta_s": ..., "fallbacks": ...}``
     one live-progress heartbeat (:mod:`repro.obs.progress`).
+``{"kind": "cache", "op": "hit"|"miss"|"store"|"verify", "key": ...,
+"technique": ..., "n": ..., "p": ..., "runs": ...}``
+    one result-cache event (:mod:`repro.cache`); hits carry
+    ``saved_wall_s`` (the host-seconds the stored computation cost) and
+    stores carry ``bytes`` and ``wall_time_s``.
 
 Every record additionally carries ``t_s`` — seconds since the journal
 opened — which lets ``repro-dls trace-export`` reconstruct a campaign

@@ -126,6 +126,29 @@ def summarize_journal(
         )
         lines.append(wall.format_ascii(width=32))
 
+    cache_ops: dict[str, int] = {}
+    saved_wall_s = 0.0
+    for record in records:
+        if record.get("kind") != "cache":
+            continue
+        op = record.get("op", "?")
+        cache_ops[op] = cache_ops.get(op, 0) + 1
+        if op == "hit":
+            saved_wall_s += record.get("saved_wall_s", 0.0)
+    if cache_ops:
+        hits = cache_ops.get("hit", 0)
+        misses = cache_ops.get("miss", 0)
+        lookups = hits + misses
+        rate = 100.0 * hits / lookups if lookups else 0.0
+        lines.append("")
+        lines.append(
+            f"result cache: {hits} hit(s), {misses} miss(es), "
+            f"{cache_ops.get('store', 0)} store(s), "
+            f"{cache_ops.get('verify', 0)} verified — "
+            f"hit-rate {rate:.1f}%, "
+            f"est. {saved_wall_s:.2f}s of simulation saved"
+        )
+
     progress = [r for r in records if r.get("kind") == "progress"]
     if progress:
         last = progress[-1]

@@ -1,0 +1,514 @@
+"""The content-addressed result cache (repro.cache).
+
+Covers the PR-6 guarantees: a cached hit is bit-identical to a fresh
+run, the cache key changes exactly when results can change, stale or
+corrupt entries miss cleanly, concurrent processes share one directory
+safely, verification sampling fails loudly on divergence, and cache
+traffic is observable through the journal, the metrics registry and
+``repro-dls cache``/``repro-dls stats``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.cache import (
+    SCHEMA_VERSION,
+    CacheVerificationError,
+    ResultCache,
+    active_cache,
+    cache_to,
+    suspended,
+)
+from repro.core.params import SchedulingParams
+from repro.experiments.runner import RunTask, run_campaign, run_replicated
+from repro.metrics.wasted_time import OverheadModel
+from repro.obs import journal_to, load_journal, metrics_to, summarize_journal
+from repro.simgrid.platform import star_platform
+from repro.workloads import ConstantWorkload, ExponentialWorkload
+
+
+def small_task(**overrides) -> RunTask:
+    base = dict(
+        technique="fac2",
+        params=SchedulingParams(n=512, p=4, h=0.5, mu=1.0, sigma=1.0),
+        workload=ExponentialWorkload(1.0),
+        simulator="msg-fast",
+    )
+    base.update(overrides)
+    return RunTask(**base)
+
+
+def tiny_platform() -> Platform:
+    return star_platform(workers=4, worker_speed=2.0)
+
+
+# -- round trips -----------------------------------------------------------
+def test_sweep_roundtrip_is_bit_identical(tmp_path):
+    task = small_task()
+    with cache_to(tmp_path / "cache") as cache:
+        cold = run_replicated(task, 6, campaign_seed=11, processes=1)
+        warm = run_replicated(task, 6, campaign_seed=11, processes=1)
+    assert cold == warm
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.stores == 1
+    assert cache.stats.saved_wall_s > 0
+
+
+def test_sweep_hit_matches_uncached_run(tmp_path):
+    task = small_task()
+    reference = run_replicated(task, 5, campaign_seed=3, processes=1)
+    with cache_to(tmp_path / "cache"):
+        stored = run_replicated(task, 5, campaign_seed=3, processes=1)
+        served = run_replicated(task, 5, campaign_seed=3, processes=1)
+    assert stored == reference
+    assert served == reference
+
+
+def test_execute_single_task_roundtrip(tmp_path):
+    task = small_task(seed_entropy=(42,))
+    fresh = task.execute()
+    with cache_to(tmp_path / "cache") as cache:
+        first = task.execute()
+        second = task.execute()
+    assert first == fresh
+    assert second == fresh
+    assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+
+
+def test_campaign_partial_hits_simulate_only_misses(tmp_path):
+    tasks = [small_task(seed_entropy=(i,)) for i in range(3)]
+    extra = small_task(seed_entropy=(99,))
+    with cache_to(tmp_path / "cache") as cache:
+        first = run_campaign(tasks, processes=1)
+        second = run_campaign(tasks + [extra], processes=1)
+    assert second[:3] == first
+    assert cache.stats.misses == 4  # 3 cold + 1 new cell
+    assert cache.stats.hits == 3
+    assert cache.stats.stores == 4
+
+
+def test_pooled_campaign_shares_cache_with_serial(tmp_path):
+    tasks = [small_task(seed_entropy=(i,)) for i in range(4)]
+    serial = run_campaign(tasks, processes=1)
+    with cache_to(tmp_path / "cache") as cache:
+        pooled = run_campaign(tasks, processes=2)
+        warm = run_campaign(tasks, processes=2)
+    assert pooled == serial
+    assert warm == serial
+    assert cache.stats.hits == 4
+    assert cache.stats.stores == 4
+
+
+def test_msg_fast_and_msg_share_entries(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    fast = small_task(seed_entropy=(7,))
+    slow = dataclasses.replace(fast, simulator="msg")
+    assert cache.task_key(fast) == cache.task_key(slow)
+    with cache_to(tmp_path / "cache") as active:
+        stored = slow.execute()
+        served = fast.execute()
+    assert served == stored
+    assert active.stats.hits == 1
+
+
+# -- key coverage (every RunTask field) -----------------------------------
+#: field -> (mutation, cache key must change, derived entropy must change)
+KEY_MUTATIONS = {
+    "technique": ("gss", True, True),
+    "params": (
+        SchedulingParams(n=1024, p=4, h=0.5, mu=1.0, sigma=1.0), True, True,
+    ),
+    "workload": (ConstantWorkload(2.0), True, True),
+    "simulator": ("direct", True, True),
+    "overhead_model": (OverheadModel.PER_WORKER, True, True),
+    "platform": (tiny_platform(), True, True),
+    "speeds": ((1.0, 2.0, 1.0, 1.0), True, True),
+    "start_times": ((0.0, 1.0, 0.0, 0.0), True, True),
+    "technique_kwargs": ({"chunk_override": 3}, True, True),
+    # explicit seeds change the run, but not the *derived* entropy
+    "seed_entropy": ((1, 2, 3), True, False),
+    # tracing populates chunk_log (a different result object), but is
+    # excluded from seed derivation so traced runs stay bit-identical
+    "collect_chunk_log": (True, True, False),
+}
+
+
+def test_key_mutation_table_covers_every_field():
+    fields = {f.name for f in dataclasses.fields(RunTask)}
+    assert fields == set(KEY_MUTATIONS), (
+        "RunTask grew a field the cache-key coverage table does not "
+        "classify — decide whether it can affect results and add it to "
+        "KEY_MUTATIONS"
+    )
+
+
+@pytest.mark.parametrize("field", sorted(KEY_MUTATIONS))
+def test_cache_key_changes_iff_results_can_change(field, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    base = small_task()
+    value, key_changes, entropy_changes = KEY_MUTATIONS[field]
+    mutated = dataclasses.replace(base, **{field: value})
+    assert (cache.task_key(mutated) != cache.task_key(base)) == key_changes
+    assert (
+        mutated.derived_entropy() != base.derived_entropy()
+    ) == entropy_changes
+
+
+def test_bit_identical_backends_share_keys_but_distinct_do_not(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    base = small_task()
+    assert cache.task_key(
+        dataclasses.replace(base, simulator="msg")
+    ) == cache.task_key(base)
+    assert cache.task_key(
+        dataclasses.replace(base, simulator="direct")
+    ) != cache.task_key(base)
+
+
+def test_result_version_bump_invalidates_keys(tmp_path, monkeypatch):
+    from repro.backends.builtin import MsgBackend
+
+    cache = ResultCache(tmp_path / "cache")
+    task = small_task()
+    before = cache.task_key(task)
+    monkeypatch.setattr(MsgBackend, "result_version", 2)
+    assert cache.task_key(task) != before
+
+
+def test_sweep_key_ignores_seed_entropy_but_not_runs(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    base = small_task()
+    seeded = dataclasses.replace(base, seed_entropy=(5,))
+    assert cache.sweep_key(base, 4, 1) == cache.sweep_key(seeded, 4, 1)
+    assert cache.sweep_key(base, 4, 1) != cache.sweep_key(base, 5, 1)
+    assert cache.sweep_key(base, 4, 1) != cache.sweep_key(base, 4, 2)
+
+
+# -- verification ----------------------------------------------------------
+def test_cache_verify_passes_on_clean_entries(tmp_path):
+    task = small_task()
+    with cache_to(tmp_path / "cache", verify_fraction=1.0) as cache:
+        run_replicated(task, 4, campaign_seed=1, processes=1)
+        again = run_replicated(task, 4, campaign_seed=1, processes=1)
+    assert cache.stats.verified == 1
+    assert len(again) == 4
+
+
+def test_cache_verify_fails_loudly_on_poisoned_entry(tmp_path):
+    task = small_task()
+    root = tmp_path / "cache"
+    with cache_to(root) as cache:
+        run_replicated(task, 3, campaign_seed=2, processes=1)
+        key = cache.sweep_key(task, 3, 2)
+    path = root / "objects" / key[:2] / f"{key}.pkl"
+    payload = pickle.loads(path.read_bytes())
+    payload["results"][1].makespan += 1.0  # poison one replication
+    path.write_bytes(pickle.dumps(payload))
+    with cache_to(root, verify_fraction=1.0):
+        with pytest.raises(CacheVerificationError, match="replication 1"):
+            run_replicated(task, 3, campaign_seed=2, processes=1)
+
+
+# -- robustness ------------------------------------------------------------
+def test_stale_schema_misses_cleanly(tmp_path):
+    task = small_task()
+    root = tmp_path / "cache"
+    with cache_to(root) as cache:
+        first = run_replicated(task, 3, campaign_seed=4, processes=1)
+        key = cache.sweep_key(task, 3, 4)
+    path = root / "objects" / key[:2] / f"{key}.pkl"
+    payload = pickle.loads(path.read_bytes())
+    payload["schema"] = SCHEMA_VERSION + 1
+    path.write_bytes(pickle.dumps(payload))
+    with cache_to(root) as cache:
+        second = run_replicated(task, 3, campaign_seed=4, processes=1)
+        assert cache.stats.stale == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+    assert second == first
+
+
+def test_corrupt_entry_misses_cleanly(tmp_path):
+    task = small_task()
+    root = tmp_path / "cache"
+    with cache_to(root) as cache:
+        first = run_replicated(task, 3, campaign_seed=5, processes=1)
+        key = cache.sweep_key(task, 3, 5)
+    path = root / "objects" / key[:2] / f"{key}.pkl"
+    path.write_bytes(b"not a pickle")
+    with cache_to(root) as cache:
+        second = run_replicated(task, 3, campaign_seed=5, processes=1)
+        assert cache.stats.errors == 1
+        assert cache.stats.misses == 1
+    assert second == first
+
+
+def test_suspended_hides_the_active_cache(tmp_path):
+    with cache_to(tmp_path / "cache") as cache:
+        assert active_cache() is cache
+        with suspended():
+            assert active_cache() is None
+        assert active_cache() is cache
+
+
+# -- provenance ------------------------------------------------------------
+def test_entry_records_provenance(tmp_path):
+    task = small_task()
+    with cache_to(tmp_path / "cache") as cache:
+        run_replicated(task, 2, campaign_seed=1, processes=1)
+        key = cache.sweep_key(task, 2, 1)
+        entry = cache.get(key)
+    assert entry is not None
+    assert entry.provenance["backend"] == "msg-fast"
+    assert "package_version" in entry.provenance
+    assert entry.provenance["fallbacks"] == []
+    assert entry.describe["technique"] == "fac2"
+    assert entry.wall_time_s > 0
+
+
+def test_entry_records_fallback_provenance(tmp_path):
+    # BOLD is adaptive: msg-fast degrades to msg, and the entry says so
+    task = small_task(technique="bold")
+    with cache_to(tmp_path / "cache") as cache:
+        run_replicated(task, 2, campaign_seed=1, processes=1)
+        entry = cache.get(cache.sweep_key(task, 2, 1))
+    assert entry.provenance["backend"] == "msg"
+    assert any(
+        event["requested"] == "msg-fast" and event["chosen"] == "msg"
+        for event in entry.provenance["fallbacks"]
+    )
+
+
+def test_hits_replay_stored_fallback_events(tmp_path):
+    # a fully cached campaign must still report that its results were
+    # produced by a degraded backend, exactly like a fresh run would
+    from repro.backends import drain_fallback_events
+
+    task = small_task(technique="bold")
+    with cache_to(tmp_path / "cache"):
+        run_replicated(task, 2, campaign_seed=1, processes=1)
+        fresh_events = drain_fallback_events()
+        run_replicated(task, 2, campaign_seed=1, processes=1)
+        replayed = drain_fallback_events()
+    assert fresh_events  # bold cannot precompute chunks on msg-fast
+    assert replayed == fresh_events
+
+
+def test_platform_hash_in_entry_provenance(tmp_path):
+    task = small_task(simulator="msg", platform=tiny_platform())
+    with cache_to(tmp_path / "cache") as cache:
+        task.execute()
+        entry = cache.get(cache.task_key(task))
+    assert "platform_xml_sha256" in entry.provenance
+
+
+# -- observability ---------------------------------------------------------
+def test_journal_and_stats_report_cache_traffic(tmp_path):
+    task = small_task()
+    journal = tmp_path / "journal.jsonl"
+    with journal_to(journal):
+        with cache_to(tmp_path / "cache"):
+            run_replicated(task, 3, campaign_seed=9, processes=1)
+            run_replicated(task, 3, campaign_seed=9, processes=1)
+    records = load_journal(journal)
+    ops = [r["op"] for r in records if r["kind"] == "cache"]
+    assert ops == ["miss", "store", "hit"]
+    hit = next(r for r in records if r.get("op") == "hit")
+    assert hit["saved_wall_s"] > 0
+    assert hit["technique"] == "fac2"
+    # a cached sweep writes no fresh `task` record
+    assert sum(1 for r in records if r["kind"] == "task") == 1
+    summary = summarize_journal(records)
+    assert "result cache: 1 hit(s), 1 miss(es), 1 store(s)" in summary
+    assert "hit-rate 50.0%" in summary
+    assert "of simulation saved" in summary
+
+
+def test_metrics_counters_and_lookup_histogram(tmp_path):
+    task = small_task()
+    with metrics_to() as registry:
+        with cache_to(tmp_path / "cache"):
+            run_replicated(task, 3, campaign_seed=9, processes=1)
+            run_replicated(task, 3, campaign_seed=9, processes=1)
+    assert registry.counters["cache_hits_total"].value == 1
+    assert registry.counters["cache_misses_total"].value == 1
+    assert registry.counters["cache_stores_total"].value == 1
+    assert registry.counters["cache_read_bytes_total"].value > 0
+    assert registry.counters["cache_written_bytes_total"].value > 0
+    assert registry.histograms["cache_lookup_seconds"].count == 2
+
+
+# -- maintenance -----------------------------------------------------------
+def test_clear_and_gc_roundtrip(tmp_path):
+    root = tmp_path / "cache"
+    with cache_to(root):
+        for i in range(3):
+            small_task(seed_entropy=(i,)).execute()
+    cache = ResultCache(root)
+    assert cache.entry_count() == 3
+    removed, remaining = cache.gc()
+    assert removed == 0 and remaining == cache.total_bytes()
+    assert cache.clear() == 3
+    assert cache.entry_count() == 0
+    assert ResultCache(root).session_records() == []
+
+
+def test_gc_removes_stale_schema_and_respects_byte_budget(tmp_path):
+    root = tmp_path / "cache"
+    with cache_to(root) as active:
+        for i in range(4):
+            small_task(seed_entropy=(i,)).execute()
+        key = active.task_key(small_task(seed_entropy=(0,)))
+    path = root / "objects" / key[:2] / f"{key}.pkl"
+    payload = pickle.loads(path.read_bytes())
+    payload["schema"] = SCHEMA_VERSION + 7
+    path.write_bytes(pickle.dumps(payload))
+    cache = ResultCache(root)
+    removed, _ = cache.gc()
+    assert removed == 1  # the stale entry, nothing else
+    assert cache.entry_count() == 3
+    removed, remaining = cache.gc(max_bytes=0)
+    assert removed == 3
+    assert remaining == 0
+    assert cache.stats.evictions == 4
+
+
+def test_session_stats_persist_and_aggregate(tmp_path):
+    root = tmp_path / "cache"
+    with cache_to(root):
+        small_task(seed_entropy=(1,)).execute()
+    with cache_to(root):
+        small_task(seed_entropy=(1,)).execute()
+    cache = ResultCache(root)
+    summary = cache.describe_store()
+    assert summary["entries"] == 1
+    assert summary["sessions"] == 2
+    assert summary["last_session"]["hits"] == 1
+    assert summary["last_session"]["misses"] == 0
+    assert summary["last_session"]["hit_rate_percent"] == 100.0
+    assert summary["lifetime"]["hits"] == 1
+    assert summary["lifetime"]["misses"] == 1
+    assert summary["lifetime"]["stores"] == 1
+
+
+# -- concurrent access -----------------------------------------------------
+def _concurrent_worker(root, seeds, queue):
+    """One process of the overlapping-campaign test (module-level so it
+    pickles under any multiprocessing start method)."""
+    from repro.cache import cache_to
+    from repro.experiments.runner import run_replicated
+
+    out = []
+    with cache_to(root):
+        for campaign_seed in seeds:
+            results = run_replicated(
+                small_task(), 3, campaign_seed=campaign_seed, processes=1
+            )
+            out.append((campaign_seed, [r.makespan for r in results]))
+    queue.put(out)
+
+
+def test_concurrent_campaigns_share_one_directory(tmp_path):
+    root = str(tmp_path / "cache")
+    # overlapping cells: both processes run seeds 1 and 2
+    ctx = multiprocessing.get_context()
+    queue = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_concurrent_worker, args=(root, seeds, queue)
+        )
+        for seeds in ((1, 2, 3), (2, 1, 4))
+    ]
+    for proc in procs:
+        proc.start()
+    outputs = [queue.get(timeout=120) for _ in procs]
+    for proc in procs:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+    by_seed: dict[int, list[float]] = {}
+    for output in outputs:
+        for campaign_seed, makespans in output:
+            if campaign_seed in by_seed:
+                assert by_seed[campaign_seed] == makespans
+            else:
+                by_seed[campaign_seed] = makespans
+    # afterwards every cell is a clean hit, bit-identical to the runs
+    with cache_to(root) as cache:
+        for campaign_seed, makespans in by_seed.items():
+            served = run_replicated(
+                small_task(), 3, campaign_seed=campaign_seed, processes=1
+            )
+            assert [r.makespan for r in served] == makespans
+        assert cache.stats.hits == 4
+        assert cache.stats.misses == 0
+
+
+# -- CLI -------------------------------------------------------------------
+def test_cli_simulate_and_cache_stats_roundtrip(tmp_path, capsys):
+    from repro.cli import main
+
+    root = str(tmp_path / "cache")
+    args = ["simulate", "--technique", "fac2", "--n", "512", "--p", "4",
+            "--runs", "2", "--cache", root]
+    assert main(args) == 0
+    assert "2 miss(es)" in capsys.readouterr().out
+    assert main(args) == 0
+    assert "2 hit(s)" in capsys.readouterr().out
+
+    assert main(["cache", "stats", root, "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["entries"] == 2
+    assert summary["last_session"]["hits"] == 2
+    assert summary["last_session"]["misses"] == 0
+    assert summary["last_session"]["hit_rate_percent"] == 100.0
+
+    assert main(["cache", "gc", root]) == 0
+    assert "removed 0" in capsys.readouterr().out
+    assert main(["cache", "clear", root]) == 0
+    assert "removed 2" in capsys.readouterr().out
+    assert main(["cache", "stats", root]) == 0
+    assert "0 entr(ies)" in capsys.readouterr().out
+
+
+def test_cli_no_cache_overrides_env(tmp_path, capsys, monkeypatch):
+    from repro.cli import main
+
+    root = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE", str(root))
+    args = ["simulate", "--technique", "gss", "--n", "256", "--p", "4",
+            "--runs", "1", "--no-cache"]
+    assert main(args) == 0
+    assert "cache" not in capsys.readouterr().out
+    assert not root.exists()
+
+
+def test_cli_cache_without_dir_fails_cleanly(capsys, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    assert main(["cache", "stats"]) == 2
+    assert "REPRO_CACHE" in capsys.readouterr().err
+
+
+def test_cli_cache_verify_catches_poison(tmp_path, capsys):
+    from repro.cli import main
+
+    root = tmp_path / "cache"
+    args = ["simulate", "--technique", "fac2", "--n", "512", "--p", "4",
+            "--runs", "1", "--seed", "3", "--cache", str(root)]
+    assert main(args) == 0
+    capsys.readouterr()
+    objects = list((root / "objects").glob("*/*.pkl"))
+    assert len(objects) == 1
+    payload = pickle.loads(objects[0].read_bytes())
+    payload["results"][0].makespan += 5.0
+    objects[0].write_bytes(pickle.dumps(payload))
+    with pytest.raises(CacheVerificationError):
+        main(args + ["--cache-verify", "1.0"])
