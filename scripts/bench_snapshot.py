@@ -10,9 +10,11 @@ PRs can diff wall-clock numbers without re-running the baselines:
   (BENCH_PR2.json)
 * ``--pr6`` — cold vs warm result-cached quick campaign
   (BENCH_PR6.json)
+* ``--pr7`` — adaptive stepping kernel vs scalar direct simulator
+  (BENCH_PR7.json)
 
 Usage:  PYTHONPATH=src python scripts/bench_snapshot.py
-            [--pr1|--pr2|--pr6] [out.json]
+            [--pr1|--pr2|--pr6|--pr7] [out.json]
 
 With no selector both snapshots are written to their default files.
 """
@@ -156,10 +158,68 @@ def snapshot_pr6() -> dict:
     }
 
 
+STEPPING_RUNS = 256
+#: (bench key, technique, scalar replications to time)
+STEPPING_CELLS = (("awf_c", "awf-c", 3), ("bold", "bold", 3))
+
+
+def snapshot_pr7() -> dict[str, float]:
+    """Adaptive stepping kernel vs the scalar direct simulator.
+
+    The headline adaptive cells of the stepping-kernel PR: AWF-C and
+    BOLD at n=65,536, p=64 on the exponential workload.  The cells are
+    first resolved through the backend registry with zero fallback
+    events — the point of the PR is that direct-batch serves them
+    natively.
+    """
+    from repro.backends import drain_fallback_events, resolve_backend
+    from repro.experiments.runner import RunTask
+
+    out: dict[str, float] = {}
+    params = scheduling_params(65536, 64)
+    workload = ExponentialWorkload(1.0)
+    drain_fallback_events()
+    for _, technique, _ in STEPPING_CELLS:
+        task = RunTask(
+            technique=technique, params=params, workload=workload,
+            simulator="direct-batch",
+        )
+        chosen = resolve_backend(task)
+        assert chosen.name == "direct-batch", (
+            f"{technique} did not stay on direct-batch: {chosen.name}"
+        )
+    events = drain_fallback_events()
+    assert not events, f"unexpected fallbacks: {events}"
+
+    for key, technique, scalar_runs in STEPPING_CELLS:
+        factory = get_technique(technique)
+
+        scalar = DirectSimulator(params, workload)
+        t0 = time.perf_counter()
+        for i in range(scalar_runs):
+            scalar.run(factory, seed=i)
+        scalar_per_rep = (time.perf_counter() - t0) / scalar_runs
+
+        batch = BatchDirectSimulator(params, workload)
+        t0 = time.perf_counter()
+        results = batch.run_batch(factory, STEPPING_RUNS, 0)
+        batch_time = time.perf_counter() - t0
+        assert len(results) == STEPPING_RUNS
+
+        reps = STEPPING_RUNS
+        out[f"stepping_{key}_n65536_p64_{reps}reps_s"] = round(batch_time, 4)
+        out[f"scalar_{key}_n65536_p64_per_rep_s"] = round(scalar_per_rep, 4)
+        out[f"stepping_speedup_{key}_per_{reps}reps"] = round(
+            scalar_per_rep * reps / batch_time, 1
+        )
+    return out
+
+
 SNAPSHOTS = {
     "--pr1": (snapshot_pr1, "BENCH_PR1.json"),
     "--pr2": (snapshot_pr2, "BENCH_PR2.json"),
     "--pr6": (snapshot_pr6, "BENCH_PR6.json"),
+    "--pr7": (snapshot_pr7, "BENCH_PR7.json"),
 }
 
 
@@ -182,7 +242,7 @@ def main() -> None:
         selected = list(SNAPSHOTS)
     if paths and len(selected) != 1:
         raise SystemExit("an explicit output path needs exactly one of "
-                         "--pr1/--pr2/--pr6")
+                         "--pr1/--pr2/--pr6/--pr7")
     for flag in selected:
         fn, default_name = SNAPSHOTS[flag]
         target = Path(paths[0]) if paths else root / default_name

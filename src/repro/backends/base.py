@@ -98,18 +98,24 @@ def capability_names() -> list[str]:
 
 @dataclass(frozen=True)
 class FallbackEvent:
-    """One capability-driven degradation: requested backend -> chosen.
+    """One recorded degradation: requested backend -> chosen.
 
     Recorded by ``resolve_backend`` whenever a requested backend cannot
     serve a task and dispatch moves to its declared fallback; surfaced
     in campaign reports (``repro-dls run fig5 ...`` prints them) instead
     of the degradation happening silently.
+
+    ``category`` separates the degradation kinds in reports
+    (``repro-dls stats``): ``"capability"`` for capability-checked
+    dispatch hops, anything else (e.g. ``"pickle"``, ``"runtime"``) for
+    degradations recorded outside the capability walk.
     """
 
     task_key: str
     requested: str
     chosen: str
     reason: str
+    category: str = "capability"
 
     def describe(self) -> str:
         return (
@@ -123,6 +129,7 @@ class FallbackEvent:
             "requested": self.requested,
             "chosen": self.chosen,
             "reason": self.reason,
+            "category": self.category,
         }
 
 
@@ -185,6 +192,17 @@ class SimulationBackend(ABC):
     #: bump it when an intentional simulator change alters simulated
     #: observables, so every cached result it produced misses cleanly.
     result_version: ClassVar[int] = 1
+
+    def result_version_for(self, task: "RunTask") -> int:
+        """The result version that keys ``task``'s cache entries.
+
+        Defaults to the class-wide :attr:`result_version`.  Backends
+        whose simulator changes alter only *some* tasks' observables
+        override this per task, so bit-identical coverage expansion
+        (e.g. a new kernel serving old tasks with the exact same
+        results) does not poison unaffected cache keys.
+        """
+        return self.result_version
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)

@@ -216,8 +216,8 @@ class DirectBatchBackend(SimulationBackend):
     name = "direct-batch"
     description = "vectorized batch-replication kernel (NumPy argmin loop)"
     capabilities = BackendCapabilities(
-        adaptive_techniques=False,
-        nondeterministic_schedules=False,
+        adaptive_techniques=True,
+        nondeterministic_schedules=True,
         contention=False,
         platforms=False,
         per_worker_speeds=True,
@@ -226,6 +226,37 @@ class DirectBatchBackend(SimulationBackend):
         pooled_blocks=True,
     )
     fallback = "direct"
+
+    #: result version of the *stepping-path* stochastic cells.  The
+    #: stepping kernel replaced the scalar fallback for the feedback-loop
+    #: techniques: deterministic workloads stay bit-identical (scalar-era
+    #: cache entries remain clean hits), but stochastic workloads moved
+    #: from per-run seed streams to block sampling, so those cells'
+    #: observables changed — their scalar-era entries must miss cleanly.
+    STEPPING_RESULT_VERSION = 2
+
+    def unsupported_reason(self, task: "RunTask") -> str | None:
+        reason = super().unsupported_reason(task)
+        if reason is not None:
+            return reason
+        from ..directsim.batch import batch_supported
+
+        if not batch_supported(task.technique):
+            return (
+                "no vectorized path for this technique: neither a "
+                "precomputable chunk schedule nor a batched stepping "
+                "state"
+            )
+        return None
+
+    def result_version_for(self, task: "RunTask") -> int:
+        from ..core.schedule import closed_form_supported
+
+        if closed_form_supported(task.technique) or (
+            task.workload.deterministic
+        ):
+            return self.result_version
+        return self.STEPPING_RESULT_VERSION
 
     def _simulator(self, task: "RunTask"):
         from ..directsim.batch import BatchDirectSimulator

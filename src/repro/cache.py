@@ -23,9 +23,11 @@ The cache key is a SHA-256 over
 * ``collect_chunk_log`` — a traced run carries a populated
   ``chunk_log``, so it is a different *result* even though it is seeded
   identically;
-* the namespace backend's :attr:`~repro.backends.SimulationBackend.
-  result_version` — bumping it invalidates every cached result the
-  backend produced, the escape hatch for intentional simulator changes;
+* the namespace backend's per-task result version
+  (:meth:`~repro.backends.SimulationBackend.result_version_for`) —
+  bumping it invalidates the cached results whose observables an
+  intentional simulator change altered, while tasks the change serves
+  bit-identically keep their keys (and stay clean hits);
 * the cache schema version, so stale formats miss cleanly; and,
 * for replication sweeps, the replication count and campaign seed
   (sweep results do not depend on the base task's ``seed_entropy``,
@@ -190,20 +192,26 @@ def default_cache_dir() -> str | None:
     return value or None
 
 
-def _namespace_result_version(simulator: str) -> int:
-    """The result_version of the backend's entropy-namespace backend.
+def _namespace_result_version(task: "RunTask") -> int:
+    """The result version of the task's entropy-namespace backend.
 
     Backends that are bit-identical to another (msg-fast to msg) share
     its namespace *and* its result version, so a simulator change that
-    bumps the version invalidates both sides of the equivalence.
+    bumps the version invalidates both sides of the equivalence.  The
+    version is resolved *per task* (``result_version_for``), so a
+    simulator change that alters only some cells' observables — e.g.
+    the batch stepping kernel replacing the scalar fallback for
+    stochastic adaptive cells — bumps exactly those cells' keys and
+    leaves bit-identical entries as clean hits.
     """
     from .backends import get_backend
 
-    backend = get_backend(simulator)
+    backend = get_backend(task.simulator)
     try:
-        return get_backend(backend.entropy_namespace).result_version
+        namespace = get_backend(backend.entropy_namespace)
     except KeyError:  # namespace is not itself a registered backend
-        return backend.result_version
+        namespace = backend
+    return namespace.result_version_for(task)
 
 
 class ResultCache:
@@ -245,7 +253,7 @@ class ResultCache:
             kind,
             ",".join(str(v) for v in task.derived_entropy()),
             f"chunk_log={int(bool(task.collect_chunk_log))}",
-            f"results-v{_namespace_result_version(task.simulator)}",
+            f"results-v{_namespace_result_version(task)}",
         ]
 
     def task_key(self, task: "RunTask") -> str:

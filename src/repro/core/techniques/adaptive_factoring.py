@@ -30,8 +30,11 @@ from __future__ import annotations
 import math
 from typing import ClassVar
 
+import numpy as np
+
 from ..base import Scheduler
 from ..registry import register
+from ..stepping import SteppingState, ceil_div, ordered_sum, register_stepping
 
 
 class _RunningEstimates:
@@ -79,6 +82,62 @@ def af_chunk(remaining: int, mu: list[float], sigma_sq: list[float],
     disc = d * d + 4.0 * d * t
     size = (d + 2.0 * t - math.sqrt(disc)) / (2.0 * mu[worker])
     return max(1, math.ceil(size))
+
+
+@register_stepping("af")
+class _AFSteppingState(SteppingState):
+    """Batched AF state: the per-PE Welford estimates as ``(R, p)`` arrays.
+
+    A replication leaves warm-up only when every PE has
+    ``WARMUP_CHUNKS`` completed chunks and a positive mean, exactly as
+    the scalar ``_chunk_size`` gate; the AF formula itself vectorizes
+    bit-exactly (sequential sums via :func:`ordered_sum`, IEEE sqrt).
+    """
+
+    def __init__(self, prototype: "AdaptiveFactoring", reps: int):
+        super().__init__(prototype, reps)
+        p = self.params.p
+        self._p = p
+        self._warmup = prototype.WARMUP_CHUNKS
+        self._count = np.zeros((reps, p), dtype=np.int64)
+        self._mean = np.zeros((reps, p))
+        self._m2 = np.zeros((reps, p))
+        self._task_total = np.zeros((reps, p), dtype=np.int64)
+
+    def chunk_sizes(self, rows, workers, remaining, outstanding):
+        count = self._count[rows]
+        warm = (count < self._warmup).any(axis=1) | (
+            self._mean[rows] <= 0
+        ).any(axis=1)
+        sizes = np.empty(rows.size, dtype=np.int64)
+        if warm.any():
+            rem = remaining[warm]
+            sizes[warm] = np.maximum(ceil_div(rem, 2 * self._p), 1)
+        ready = ~warm
+        if ready.any():
+            idx = rows[ready]
+            mu = self._mean[idx]
+            sigma_sq = (self._m2[idx] / (self._count[idx] - 1)) * (
+                self._task_total[idx] / self._count[idx]
+            )
+            d = ordered_sum(sigma_sq / mu)
+            t = remaining[ready] / ordered_sum(1.0 / mu)
+            disc = d * d + 4.0 * d * t
+            size = (d + 2.0 * t - np.sqrt(disc)) / (
+                2.0 * mu[np.arange(idx.size), workers[ready]]
+            )
+            sizes[ready] = np.maximum(np.ceil(size), 1.0).astype(np.int64)
+        return sizes
+
+    def record_finished(self, rows, workers, sizes, elapsed):
+        x = elapsed / sizes
+        self._count[rows, workers] += 1
+        count = self._count[rows, workers]
+        self._task_total[rows, workers] += sizes
+        delta = x - self._mean[rows, workers]
+        self._mean[rows, workers] += delta / count
+        # Welford: the second factor uses the *updated* mean.
+        self._m2[rows, workers] += delta * (x - self._mean[rows, workers])
 
 
 @register

@@ -39,8 +39,11 @@ from __future__ import annotations
 import math
 from typing import ClassVar
 
+import numpy as np
+
 from ..base import Scheduler, SchedulerState
 from ..registry import register
+from ..stepping import SteppingState, ceil_div, ordered_sum, register_stepping
 
 
 class _PerWorkerStats:
@@ -128,6 +131,88 @@ class _AWFBase(Scheduler):
         self._stats[worker].record(size, t)
         if self.update_point == "chunk":
             self._recompute_weights()
+
+
+@register_stepping("awf", "awf-b", "awf-c", "awf-d", "awf-e")
+class _AWFSteppingState(SteppingState):
+    """Batched AWF-family state: the scalar per-worker chunk-indexed
+    stats and normalised weights as ``(R, p)`` arrays.
+
+    Reads ``update_point``/``include_overhead_in_time`` and the initial
+    weights off the prototype, so the five variants share this one
+    state.  Plain AWF updates its weights only *between* time steps
+    (``start_timestep``), which the simulators never trigger within a
+    run — its weights stay frozen at their initial values and its step
+    accumulators never influence chunk sizes, so they are not tracked.
+    """
+
+    def __init__(self, prototype: _AWFBase, reps: int):
+        super().__init__(prototype, reps)
+        p = self.params.p
+        self._p = p
+        self._update_point = prototype.update_point
+        # The scalar path always *adds* the pad (0.0 when the variant
+        # excludes h) — an exact identity for finite elapsed times.
+        self._time_pad = (
+            float(self.params.h)
+            if prototype.include_overhead_in_time
+            else 0.0
+        )
+        self._weights = np.tile(
+            np.asarray(prototype._weights, dtype=np.float64), (reps, 1)
+        )
+        self._wrs = np.zeros((reps, p))            # weighted_ratio_sum
+        self._index_sum = np.zeros((reps, p), dtype=np.int64)
+        self._chunk_count = np.zeros((reps, p), dtype=np.int64)
+        self._batch_total = np.zeros(reps, dtype=np.int64)
+        self._batch_left = np.zeros(reps, dtype=np.int64)
+
+    def _recompute_weights(self, rows: np.ndarray) -> None:
+        isum = self._index_sum[rows]
+        has = isum > 0
+        pis = self._wrs[rows] / np.where(has, isum, 1)
+        known = has & (pis > 0)
+        kcount = known.sum(axis=1)
+        upd = kcount > 0          # rows with no history keep old weights
+        if not upd.any():
+            return
+        rows = rows[upd]
+        pis, known, kcount = pis[upd], known[upd], kcount[upd]
+        fallback = ordered_sum(np.where(known, pis, 0.0)) / kcount
+        ratios = np.where(known, pis, fallback[:, None])
+        inv = 1.0 / ratios
+        total = ordered_sum(inv)
+        self._weights[rows] = self._p * inv / total[:, None]
+
+    def chunk_sizes(self, rows, workers, remaining, outstanding):
+        need = self._batch_left[rows] <= 0
+        if need.any():
+            nrows = rows[need]
+            rem = remaining[need]
+            total = np.minimum(np.maximum(ceil_div(rem, 2), 1), rem)
+            self._batch_total[nrows] = total
+            self._batch_left[nrows] = total
+            if self._update_point == "batch":
+                self._recompute_weights(nrows)
+        share = (
+            self._batch_total[rows] * self._weights[rows, workers] / self._p
+        )
+        sizes = np.maximum(np.ceil(share), 1.0).astype(np.int64)
+        return np.minimum(sizes, self._batch_left[rows])
+
+    def after_assignment(self, rows, workers, sizes):
+        self._batch_left[rows] -= sizes
+
+    def record_finished(self, rows, workers, sizes, elapsed):
+        if self._update_point == "timestep":
+            return
+        t = elapsed + self._time_pad
+        self._chunk_count[rows, workers] += 1
+        k = self._chunk_count[rows, workers]
+        self._wrs[rows, workers] += k * (t / sizes)
+        self._index_sum[rows, workers] += k
+        if self._update_point == "chunk":
+            self._recompute_weights(rows)
 
 
 @register

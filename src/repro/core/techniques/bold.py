@@ -41,8 +41,11 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..base import Scheduler
 from ..registry import register
+from ..stepping import SteppingState, register_stepping
 from .factoring import factoring_x
 from .fixed_size import optimal_fixed_chunk
 
@@ -54,6 +57,56 @@ def kw_floor(remaining: int, p: int, h: float, sigma: float) -> int:
     if p <= 1 or sigma <= 0 or h <= 0:
         return 1
     return optimal_fixed_chunk(remaining, p, h, sigma)
+
+
+@register_stepping("bold")
+class _BoldSteppingState(SteppingState):
+    """Batched BOLD state: per-replication batch bookkeeping.
+
+    Batch starts go through the *scalar* helpers (``factoring_x``,
+    ``kw_floor``) in a small Python loop over just the replications
+    starting a batch that round — both because batch starts are ~p times
+    rarer than chunks and because ``optimal_fixed_chunk``'s ``** (2/3)``
+    is not guaranteed bitwise-identical between ``np.power`` and
+    Python's ``**``.  Sharing the helpers keeps the two paths on one
+    set of constants.
+    """
+
+    def __init__(self, prototype: Bold, reps: int):
+        super().__init__(prototype, reps)
+        params = self.params
+        self._p = params.p
+        self._h = params.h
+        self._mu = params.mu if params.mu is not None else 1.0
+        self._sigma = params.sigma if params.sigma is not None else 0.0
+        self._batch_left = np.zeros(reps, dtype=np.int64)
+        self._batch_chunk = np.zeros(reps, dtype=np.int64)
+        self._batch_index = np.zeros(reps, dtype=np.int64)
+
+    def chunk_sizes(self, rows, workers, remaining, outstanding):
+        need = self._batch_left[rows] <= 0
+        if need.any():
+            p = self._p
+            for i in np.flatnonzero(need):
+                rep = int(rows[i])
+                r = int(remaining[i])
+                x = factoring_x(
+                    r, p, self._mu, self._sigma,
+                    first_batch=self._batch_index[rep] == 0,
+                )
+                fac_chunk = max(1, math.ceil(r / (x * p)))
+                floor = kw_floor(r, p, self._h, self._sigma)
+                fair_share = -(-max(1, r + int(outstanding[i])) // p)
+                chunk = min(max(fac_chunk, floor), max(1, fair_share))
+                self._batch_chunk[rep] = chunk
+                self._batch_left[rep] = min(chunk * p, r)
+                self._batch_index[rep] += 1
+        return np.minimum(
+            np.maximum(self._batch_chunk[rows], 1), self._batch_left[rows]
+        )
+
+    def after_assignment(self, rows, workers, sizes):
+        self._batch_left[rows] -= sizes
 
 
 @register

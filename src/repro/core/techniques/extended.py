@@ -29,6 +29,7 @@ import numpy as np
 
 from ..base import Scheduler
 from ..registry import register
+from ..stepping import SteppingState, ceil_div, register_stepping
 
 
 @register
@@ -182,10 +183,36 @@ class RandomChunk(Scheduler):
         super().__init__(params)
         self.low = max(1, params.min_chunk)
         self.high = max(self.low, params.n // (2 * params.p))
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
 
     def _chunk_size(self, worker: int) -> int:
         return int(self._rng.integers(self.low, self.high + 1))
+
+
+@register_stepping("rnd")
+class _RNDSteppingState(SteppingState):
+    """Batched RND state: one shared draw per round.
+
+    Every replication's scheduler is built with the *same* ``seed``
+    kwarg, and RND's size sequence depends only on its own RNG — not on
+    worker identity or timing — so all replications draw identical size
+    sequences, hold identical ``remaining`` counters by induction, and
+    finish on the same round.  One scalar draw per round, broadcast to
+    all replications, therefore reproduces every scalar run's sizes
+    draw-for-draw (the state's RNG restarts from the seed per block,
+    exactly as each scalar run's does).
+    """
+
+    def __init__(self, prototype: RandomChunk, reps: int):
+        super().__init__(prototype, reps)
+        self._low = prototype.low
+        self._high = prototype.high
+        self._rng = np.random.default_rng(prototype._seed)
+
+    def chunk_sizes(self, rows, workers, remaining, outstanding):
+        size = int(self._rng.integers(self._low, self._high + 1))
+        return np.full(rows.size, size, dtype=np.int64)
 
 
 @register
@@ -225,3 +252,33 @@ class PerformanceLoopScheduling(Scheduler):
             and record.size <= self._static_chunk
         ):
             self._static_served.add(record.worker)
+
+
+@register_stepping("pls")
+class _PLSSteppingState(SteppingState):
+    """Batched PLS state: the per-worker static-prefix served flags.
+
+    Worker-dependent: the first request of each PE gets the static
+    chunk, later requests fall back to GSS — so the kernel's argmin pop
+    order decides *which* request is a PE's first, exactly as the
+    scalar heap does.
+    """
+
+    def __init__(self, prototype: PerformanceLoopScheduling, reps: int):
+        super().__init__(prototype, reps)
+        self._p = self.params.p
+        self._static = prototype._static_chunk
+        self._served = np.zeros((reps, self.params.p), dtype=bool)
+
+    def chunk_sizes(self, rows, workers, remaining, outstanding):
+        dynamic = np.maximum(ceil_div(remaining, self._p), 1)
+        if self._static <= 0:
+            return dynamic
+        fresh = ~self._served[rows, workers]
+        return np.where(fresh, self._static, dynamic)
+
+    def after_assignment(self, rows, workers, sizes):
+        if self._static <= 0:
+            return
+        mark = ~self._served[rows, workers] & (sizes <= self._static)
+        self._served[rows[mark], workers[mark]] = True

@@ -14,9 +14,65 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..base import Scheduler
 from ..registry import register
+from ..stepping import SteppingState, register_stepping
 from .factoring import factoring_x
+
+
+@register_stepping("wf")
+class _WFSteppingState(SteppingState):
+    """Batched WF state: per-replication batch totals and claim sets.
+
+    The chunk size depends on *which* worker asks (its weight, and
+    whether it already claimed its share of the batch), so the kernel's
+    argmin must present workers in the scalar heap's pop order — which
+    it does by construction.  Batch starts reuse the scalar
+    ``factoring_x`` in a small loop, as for BOLD.
+    """
+
+    def __init__(self, prototype: WeightedFactoring, reps: int):
+        super().__init__(prototype, reps)
+        params = self.params
+        self._p = params.p
+        self._mu = params.mu if params.mu is not None else 1.0
+        self._sigma = params.sigma if params.sigma is not None else 0.0
+        self._weights = np.asarray(prototype.weights, dtype=np.float64)
+        self._batch_total = np.zeros(reps, dtype=np.int64)
+        self._batch_left = np.zeros(reps, dtype=np.int64)
+        self._batch_index = np.zeros(reps, dtype=np.int64)
+        self._claimed = np.zeros((reps, params.p), dtype=bool)
+
+    def chunk_sizes(self, rows, workers, remaining, outstanding):
+        need = self._batch_left[rows] <= 0
+        if need.any():
+            p = self._p
+            for i in np.flatnonzero(need):
+                rep = int(rows[i])
+                r = int(remaining[i])
+                x = factoring_x(
+                    r, p, self._mu, self._sigma,
+                    first_batch=self._batch_index[rep] == 0,
+                )
+                total = min(max(1, math.ceil(r / x)), r)
+                self._batch_total[rep] = total
+                self._batch_left[rep] = total
+                self._batch_index[rep] += 1
+                self._claimed[rep, :] = False
+        left = self._batch_left[rows]
+        claimed = self._claimed[rows, workers]
+        share_claimed = np.maximum(left // self._p, 1)
+        share_fresh = np.maximum(
+            np.ceil(self._batch_total[rows] * self._weights[workers]), 1.0
+        ).astype(np.int64)
+        share = np.where(claimed, share_claimed, share_fresh)
+        return np.minimum(share, left)
+
+    def after_assignment(self, rows, workers, sizes):
+        self._batch_left[rows] -= sizes
+        self._claimed[rows, workers] = True
 
 
 @register

@@ -26,10 +26,22 @@ one cell in bulk NumPy operations instead, in three layers:
    distribution (the scalar simulator remains the reference oracle; see
    ``tests/test_batch_kernel.py``).
 
-Not supported (callers must fall back to the scalar simulator):
-adaptive techniques (AWF family, AF, BOLD), worker-dependent schedules
-(WF, PLS, RND), fault injection, per-chunk speed fluctuation, and
-per-chunk execution logs.
+Techniques whose chunk sequence *cannot* be precomputed — the adaptive
+feedback loops (AWF family, AF, BOLD) and the worker-dependent
+schedules (WF, PLS, RND) — run on the **batched stepping kernel**
+instead: all R replications advance in lock-step, one scheduling round
+at a time, with each technique's adaptive state held as ``(R,)``/``(R,
+p)`` arrays (:mod:`repro.core.stepping`).  One round performs one
+argmin worker pop, one deferred completion report, one vectorized
+chunk-size update and one bulk chunk-time draw per live replication —
+the same fidelity contract as the closed-form path (bit-identical for
+deterministic workloads, equal in distribution otherwise; see
+``tests/test_stepping_kernel.py`` and docs/simulators.md).
+
+Still not supported (callers must fall back to the scalar simulator):
+fault injection and per-chunk speed fluctuation.  Per-chunk execution
+logs are recorded only on request (``record_chunks=True``) and only on
+the stepping path — the closed-form path keeps its log-free fast lane.
 """
 
 from __future__ import annotations
@@ -39,15 +51,16 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..core.base import Scheduler
+from ..core.base import ChunkRecord, Scheduler
 from ..core.params import SchedulingParams
 from ..core.schedule import (
     ScheduleUnavailableError,
     closed_form_supported,
     precompute_schedule,
 )
+from ..core.stepping import stepping_state_for, stepping_supported
 from ..obs.stats import RunStats
-from ..results import RunResult
+from ..results import ChunkExecution, RunResult
 from ..workloads.distributions import Workload
 from ..workloads.generator import make_rng
 from .accounting import OverheadModel
@@ -56,15 +69,22 @@ from .accounting import OverheadModel
 #: huge cells (SS at n = 524,288) stream through in replication blocks.
 DEFAULT_MAX_BLOCK_ELEMENTS = 1 << 24
 
+#: the stepping path holds ~this many (R, p) state arrays alive at once
+#: (kernel counters plus the technique state), so its replication blocks
+#: are sized to keep the total near ``max_block_elements`` elements.
+_STEPPING_STATE_ARRAYS = 8
+
 
 def batch_supported(technique: str | type[Scheduler]) -> bool:
     """True when ``technique`` can run on the batch kernel.
 
-    Thin alias of the shared eligibility predicate
-    (:func:`repro.core.schedule.closed_form_supported`) — the batch
-    kernel and the MSG fast path share one precondition.
+    Either of the two vectorized paths qualifies: a precomputable
+    closed-form chunk schedule (:func:`repro.core.schedule.
+    closed_form_supported`, shared with the MSG fast path) or a
+    registered batched stepping state (:func:`repro.core.stepping.
+    stepping_supported`) for the feedback-loop techniques.
     """
-    return closed_form_supported(technique)
+    return closed_form_supported(technique) or stepping_supported(technique)
 
 
 #: backward-compatible alias: the shared precomputation error
@@ -77,8 +97,10 @@ class BatchDirectSimulator:
     Takes the same cell description (params, workload, overhead model,
     speeds, start times) but simulates ``reps`` independent replications
     per :meth:`run_batch` call using the vectorized kernel.  Fault
-    injection, fluctuation and chunk logs are intentionally absent —
-    use the scalar simulator for those scenarios.
+    injection and fluctuation are intentionally absent — use the scalar
+    simulator for those scenarios.  ``record_chunks`` keeps per-chunk
+    execution logs on the stepping path only (the closed-form path has
+    no per-chunk loop to log from).
     """
 
     def __init__(
@@ -89,6 +111,7 @@ class BatchDirectSimulator:
         speeds: Sequence[float] | None = None,
         start_times: Sequence[float] | None = None,
         max_block_elements: int = DEFAULT_MAX_BLOCK_ELEMENTS,
+        record_chunks: bool = False,
     ):
         self.params = params
         self.workload = workload
@@ -112,6 +135,7 @@ class BatchDirectSimulator:
         if max_block_elements < 1:
             raise ValueError("max_block_elements must be >= 1")
         self.max_block_elements = int(max_block_elements)
+        self.record_chunks = record_chunks
 
     def run_batch(
         self,
@@ -122,28 +146,49 @@ class BatchDirectSimulator:
         """Simulate ``reps`` independent replications of the cell.
 
         ``scheduler`` may be a fresh instance or a factory, exactly as
-        for :meth:`DirectSimulator.run`; it is used only to precompute
-        the chunk schedule.  All replications share one RNG stream
-        spawned from ``seed`` (how that stream is split over internal
-        blocks is an implementation detail — per-replication results
-        are equal in distribution to scalar runs, not draw-for-draw
-        identical for stochastic workloads).
+        for :meth:`DirectSimulator.run`.  Closed-form techniques take
+        the schedule-precomputation path; feedback-loop techniques with
+        a registered stepping state take the lock-step round kernel
+        (the instance then serves as the never-mutated prototype its
+        batched state is built from).  All replications share one RNG
+        stream spawned from ``seed`` (how that stream is split over
+        internal blocks is an implementation detail — per-replication
+        results are equal in distribution to scalar runs, not
+        draw-for-draw identical for stochastic workloads).
         """
         if reps < 1:
             raise ValueError("reps must be >= 1")
         if not isinstance(scheduler, Scheduler):
             scheduler = scheduler(self.params)
-        schedule = precompute_schedule(scheduler)
-        label, starts, sizes = schedule.label, schedule.starts, schedule.sizes
         rng = make_rng(seed)
-
-        block = max(1, self.max_block_elements // max(1, sizes.size))
         results: list[RunResult] = []
         done = 0
-        while done < reps:
-            r = min(block, reps - done)
-            results.extend(self._run_block(label, starts, sizes, r, rng))
-            done += r
+        if closed_form_supported(scheduler):
+            schedule = precompute_schedule(scheduler)
+            label, starts, sizes = (
+                schedule.label, schedule.starts, schedule.sizes
+            )
+            block = max(1, self.max_block_elements // max(1, sizes.size))
+            while done < reps:
+                r = min(block, reps - done)
+                results.extend(self._run_block(label, starts, sizes, r, rng))
+                done += r
+        elif stepping_supported(scheduler):
+            block = max(
+                1,
+                self.max_block_elements
+                // (_STEPPING_STATE_ARRAYS * max(1, self.params.p)),
+            )
+            while done < reps:
+                r = min(block, reps - done)
+                results.extend(self._run_stepping_block(scheduler, r, rng))
+                done += r
+        else:
+            raise ScheduleUnavailableError(
+                f"{scheduler.label or scheduler.name} has neither a "
+                "precomputable chunk schedule nor a batched stepping "
+                "state; use a scalar simulator"
+            )
         return results
 
     # -- the kernel ------------------------------------------------------
@@ -216,6 +261,143 @@ class BatchDirectSimulator:
                 stats=RunStats(
                     fast_path=True,
                     events=num_chunks,
+                    heap_peak=p,
+                    live_peak=p,
+                    wall_time=wall_share,
+                    extra={"block_reps": reps},
+                ),
+            )
+            for r in range(reps)
+        ]
+
+    # -- the stepping kernel ---------------------------------------------
+    def _run_stepping_block(
+        self,
+        prototype: Scheduler,
+        reps: int,
+        rng: np.random.Generator,
+    ) -> list[RunResult]:
+        """Advance ``reps`` replications in lock-step, one round at a time.
+
+        One round replays one scalar heap pop for every live
+        replication, in the scalar loop's exact order: pop the
+        earliest-ready worker (argmin; ties break toward the lowest
+        index, like the heap), report that worker's pending chunk
+        completion to the scheduler state (deferred reporting), compute
+        and clip the chunk sizes, then draw the chunk times and advance
+        the clocks.  Replications whose tasks are exhausted drop out of
+        the round set, exactly as the scalar loop stops popping once
+        the scheduler is done (its final pending completions are never
+        consulted again, so they are not reported).
+        """
+        t_wall = time.perf_counter()
+        p = self.params.p
+        h = self.params.h
+        model = self.overhead_model
+        label = prototype.label or prototype.name
+        state = stepping_state_for(prototype, reps)
+
+        remaining = np.full(reps, self.params.n, dtype=np.int64)
+        outstanding = np.zeros(reps, dtype=np.int64)
+        next_task = np.zeros(reps, dtype=np.int64)
+        num_chunks = np.zeros(reps, dtype=np.int64)
+        ready = np.tile(self.start_times, (reps, 1))
+        compute = np.zeros((reps, p))
+        counts = np.zeros((reps, p), dtype=np.int64)
+        makespan = np.zeros(reps)
+        total = np.zeros(reps)
+        pend_size = np.zeros((reps, p), dtype=np.int64)
+        pend_elapsed = np.zeros((reps, p))
+        if model is OverheadModel.SERIALIZED_MASTER:
+            master_free = np.zeros(reps)
+        logs: list[list[ChunkExecution]] | None = (
+            [[] for _ in range(reps)] if self.record_chunks else None
+        )
+
+        while True:
+            rows = np.flatnonzero(remaining > 0)
+            if rows.size == 0:
+                break
+            w = np.argmin(ready[rows], axis=1)
+            t = ready[rows, w]
+
+            fin_size = pend_size[rows, w]
+            fin = fin_size > 0
+            if fin.any():
+                fr, fw = rows[fin], w[fin]
+                outstanding[fr] -= fin_size[fin]
+                state.record_finished(
+                    fr, fw, fin_size[fin], pend_elapsed[fr, fw]
+                )
+                pend_size[fr, fw] = 0
+
+            sizes = state.chunk_sizes(
+                rows, w, remaining[rows], outstanding[rows]
+            )
+            # The scalar next_chunk clip: never beyond the remaining
+            # tasks, and always progress while work remains.
+            sizes = np.maximum(
+                np.minimum(sizes.astype(np.int64), remaining[rows]), 1
+            )
+            starts = next_task[rows]
+            next_task[rows] += sizes
+            remaining[rows] -= sizes
+            outstanding[rows] += sizes
+            num_chunks[rows] += 1
+            state.after_assignment(rows, w, sizes)
+
+            task_time = self.workload.chunk_times_round(starts, sizes, rng)
+            elapsed = task_time / self.speeds[w]
+            if model is OverheadModel.PER_WORKER:
+                begin = t + h
+            elif model is OverheadModel.SERIALIZED_MASTER:
+                mf = np.maximum(master_free[rows], t) + h
+                master_free[rows] = mf
+                begin = mf
+            else:  # POST_HOC — scheduling is free inside the simulation
+                begin = t
+            end = begin + elapsed
+            ready[rows, w] = end
+            compute[rows, w] += elapsed
+            counts[rows, w] += 1
+            total[rows] += task_time
+            # Per-worker end times only ever grow, so the running max
+            # over all chunk ends equals the scalar max(finish).
+            makespan[rows] = np.maximum(makespan[rows], end)
+            pend_size[rows, w] = sizes
+            pend_elapsed[rows, w] = elapsed
+            if logs is not None:
+                for k in range(rows.size):
+                    rep = int(rows[k])
+                    logs[rep].append(ChunkExecution(
+                        ChunkRecord(
+                            index=int(num_chunks[rep]) - 1,
+                            worker=int(w[k]),
+                            start=int(starts[k]),
+                            size=int(sizes[k]),
+                        ),
+                        float(begin[k]),
+                        float(elapsed[k]),
+                    ))
+
+        wall_share = (time.perf_counter() - t_wall) / reps
+        return [
+            RunResult(
+                technique=label,
+                n=self.params.n,
+                p=p,
+                h=h,
+                overhead_model=model,
+                makespan=float(makespan[r]),
+                compute_times=compute[r].tolist(),
+                chunks_per_worker=counts[r].tolist(),
+                num_chunks=int(num_chunks[r]),
+                total_task_time=float(total[r]),
+                chunk_log=logs[r] if logs is not None else [],
+                extras={"lost_chunks": 0, "lost_tasks": 0},
+                stats=RunStats(
+                    fast_path=True,
+                    events=int(num_chunks[r]),
                     heap_peak=p,
                     live_peak=p,
                     wall_time=wall_share,

@@ -220,6 +220,7 @@ def _replay_entry_fallbacks(entry) -> None:
                 requested=event["requested"],
                 chosen=event["chosen"],
                 reason=event["reason"],
+                category=event.get("category", "capability"),
             ))
         except (KeyError, TypeError):  # foreign/legacy provenance shape
             continue

@@ -347,7 +347,20 @@ def replicate_msg(
         import pickle
 
         pickle.dumps(blocks[0])
-    except Exception:
+    except Exception as exc:
+        from ..backends.base import FallbackEvent
+        from ..backends.registry import record_fallback
+
+        record_fallback(FallbackEvent(
+            task_key=(
+                f"replicate_msg(n={simulation.params.n}, "
+                f"p={simulation.params.p})"
+            ),
+            requested="process-pool",
+            chosen="serial",
+            reason=f"simulation/factory does not pickle: {exc!r}",
+            category="pickle",
+        ))
         return [simulation.run(factory, s) for s in seeds]
     if len(blocks) == 1:
         return blocks[0].execute()

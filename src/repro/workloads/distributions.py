@@ -54,6 +54,13 @@ class Workload(ABC):
     #: True when task times depend on the task index.
     position_dependent: bool = False
 
+    #: True when task times are a pure function of the task index — no
+    #: RNG is consumed, so every replication (and every simulator path)
+    #: produces bit-identical chunk times.  The batch stepping kernel's
+    #: bit-identity contract and the result cache's per-task
+    #: ``result_version`` both key off this flag.
+    deterministic: bool = False
+
     @property
     @abstractmethod
     def mean(self) -> float:
@@ -113,6 +120,29 @@ class Workload(ABC):
                 out[:, c] = flat.reshape(reps, sz).sum(axis=1)
         return out
 
+    def chunk_times_round(
+        self,
+        starts: np.ndarray,
+        sizes: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One independent chunk-sum per ``(starts[k], sizes[k])`` pair.
+
+        The sampling primitive of the batched *stepping* kernel
+        (:mod:`repro.directsim.batch`): one scheduling round needs one
+        draw per live replication, for replication-specific chunks — a
+        ``(K,)`` vector rather than :meth:`chunk_times_batch`'s
+        ``(reps, C)`` matrix.  The default loops over
+        :meth:`chunk_time`; distributions with a closed-form chunk sum
+        override it with one vectorised draw.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        out = np.empty(starts.size, dtype=np.float64)
+        for k in range(starts.size):
+            out[k] = self.chunk_time(int(starts[k]), int(sizes[k]), rng)
+        return out
+
     def serial_time(self, n: int) -> float:
         """Expected serial execution time of ``n`` tasks."""
         return n * self.mean
@@ -126,6 +156,8 @@ class Workload(ABC):
 
 class ConstantWorkload(Workload):
     """Every task takes exactly ``value`` seconds (TSS experiments)."""
+
+    deterministic = True
 
     def __init__(self, value: float):
         if value <= 0:
@@ -149,6 +181,10 @@ class ConstantWorkload(Workload):
         # broadcast view is read-only but identical across replications.
         row = np.maximum(sizes, 0).astype(np.float64) * self.value
         return np.broadcast_to(row, (reps, sizes.size))
+
+    def chunk_times_round(self, starts, sizes, rng) -> np.ndarray:
+        sizes = np.asarray(sizes, dtype=np.int64)
+        return np.maximum(sizes, 0).astype(np.float64) * self.value
 
 
 class ExponentialWorkload(Workload):
@@ -177,6 +213,11 @@ class ExponentialWorkload(Workload):
         shapes = np.maximum(sizes, 0).astype(np.float64)
         return rng.gamma(shape=shapes, scale=self._mean,
                          size=(reps, sizes.size))
+
+    def chunk_times_round(self, starts, sizes, rng) -> np.ndarray:
+        sizes = np.asarray(sizes, dtype=np.int64)
+        shapes = np.maximum(sizes, 0).astype(np.float64)
+        return rng.gamma(shape=shapes, scale=self._mean)
 
 
 class UniformWorkload(Workload):
@@ -248,6 +289,11 @@ class GammaWorkload(Workload):
         shapes = self.shape * np.maximum(sizes, 0).astype(np.float64)
         return rng.gamma(shapes, self.scale, size=(reps, sizes.size))
 
+    def chunk_times_round(self, starts, sizes, rng) -> np.ndarray:
+        sizes = np.asarray(sizes, dtype=np.int64)
+        shapes = self.shape * np.maximum(sizes, 0).astype(np.float64)
+        return rng.gamma(shapes, self.scale)
+
 
 class BimodalWorkload(Workload):
     """Mixture of two task classes (fast with prob. ``p_fast``, else slow)."""
@@ -285,6 +331,7 @@ class LinearWorkload(Workload):
     """
 
     position_dependent = True
+    deterministic = True
 
     def __init__(self, n: int, first: float, last: float):
         if n < 1:
@@ -321,6 +368,16 @@ class LinearWorkload(Workload):
         ])
         return np.broadcast_to(row, (reps, sizes.size))
 
+    def chunk_times_round(self, starts, sizes, rng) -> np.ndarray:
+        starts = np.asarray(starts, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        # The same per-chunk ``.sum()`` as the scalar path, so the
+        # stepping kernel stays bit-identical to ``DirectSimulator``.
+        return np.array([
+            self._times(int(st), int(sz)).sum() if sz > 0 else 0.0
+            for st, sz in zip(starts, sizes)
+        ])
+
 
 def decreasing_workload(n: int, first: float, last: float) -> LinearWorkload:
     """Tzen & Ni's decreasing workload: task times fall from first to last."""
@@ -350,6 +407,7 @@ class PerTaskSampling(Workload):
     def __init__(self, inner: Workload):
         self.inner = inner
         self.position_dependent = inner.position_dependent
+        self.deterministic = inner.deterministic
 
     @property
     def mean(self) -> float:
@@ -367,6 +425,7 @@ class TraceWorkload(Workload):
     """Replay recorded per-task execution times (Figure 2's trace input)."""
 
     position_dependent = True
+    deterministic = True
 
     def __init__(self, times: np.ndarray):
         times = np.asarray(times, dtype=np.float64)
@@ -404,3 +463,19 @@ class TraceWorkload(Workload):
         csum = np.concatenate(([0.0], np.cumsum(self.times)))
         row = csum[starts + np.maximum(sizes, 0)] - csum[starts]
         return np.broadcast_to(row, (reps, sizes.size))
+
+    def chunk_times_round(self, starts, sizes, rng) -> np.ndarray:
+        starts = np.asarray(starts, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if sizes.size and (
+            starts.min(initial=0) < 0
+            or (starts + sizes).max(initial=0) > self.times.size
+        ):
+            raise IndexError(
+                f"chunks outside trace of {self.times.size} tasks"
+            )
+        # Same prefix-sum differences as chunk_times_batch, cached:
+        # the stepping kernel calls this once per scheduling round.
+        if not hasattr(self, "_csum"):
+            self._csum = np.concatenate(([0.0], np.cumsum(self.times)))
+        return self._csum[starts + np.maximum(sizes, 0)] - self._csum[starts]

@@ -74,38 +74,38 @@ class TestResolution:
             assert resolve_backend(task).name == name
         assert peek_fallback_events() == []
 
-    def test_direct_batch_adaptive_falls_back_with_event(self):
-        """The issue's required check: direct-batch + an adaptive
-        technique degrades to direct and emits a FallbackEvent — never
-        silently."""
-        task = make_task("awf-b", simulator="direct-batch")
-        assert resolve_backend(task).name == "direct"
-        events = drain_fallback_events()
-        assert len(events) == 1
-        event = events[0]
-        assert event.requested == "direct-batch"
-        assert event.chosen == "direct"
-        assert "adaptive" in event.reason
-        assert "awf-b" in event.task_key
-        assert event.requested in event.describe()
-        assert event.to_json()["chosen"] == "direct"
-
-    def test_direct_batch_bold_falls_back(self):
-        task = make_task("bold", simulator="direct-batch")
-        assert resolve_backend(task).name == "direct"
-        (event,) = drain_fallback_events()
-        assert "schedule" in event.reason
+    def test_direct_batch_serves_adaptive_natively(self):
+        """The stepping kernel closed the adaptive capability gap:
+        direct-batch serves the feedback-loop techniques itself, with
+        no FallbackEvent."""
+        for technique in ("awf", "awf-b", "af", "bold"):
+            task = make_task(technique, simulator="direct-batch")
+            assert resolve_backend(task).name == "direct-batch"
+        assert peek_fallback_events() == []
 
     def test_msg_fast_adaptive_falls_back_to_msg(self):
         task = make_task("af", simulator="msg-fast")
         assert resolve_backend(task).name == "msg"
         (event,) = drain_fallback_events()
         assert (event.requested, event.chosen) == ("msg-fast", "msg")
+        assert event.category == "capability"
 
-    def test_worker_dependent_schedule_falls_back(self):
-        task = make_task("wf", simulator="direct-batch")
+    def test_worker_dependent_schedule_serves_natively(self):
+        for technique in ("wf", "pls", "rnd"):
+            task = make_task(technique, simulator="direct-batch")
+            assert resolve_backend(task).name == "direct-batch"
+        assert peek_fallback_events() == []
+
+    def test_chunk_log_still_falls_back(self):
+        """direct-batch records per-chunk logs only on the stepping
+        path, and only on request — the capability stays off, so traced
+        tasks still degrade to direct with a recorded event."""
+        task = make_task("awf-b", simulator="direct-batch",
+                         collect_chunk_log=True)
         assert resolve_backend(task).name == "direct"
-        assert drain_fallback_events()
+        (event,) = drain_fallback_events()
+        assert "chunk" in event.reason
+        assert event.category == "capability"
 
     def test_no_fallback_raises_resolution_error(self):
         task = make_task("gss", simulator="direct",
@@ -122,7 +122,8 @@ class TestResolution:
         assert "direct-batch -> direct" in str(err.value)
 
     def test_fallback_log_deduplicates(self):
-        task = make_task("bold", simulator="direct-batch")
+        task = make_task("bold", simulator="direct-batch",
+                         collect_chunk_log=True)
         resolve_backend(task)
         resolve_backend(task)
         assert len(drain_fallback_events()) == 1
@@ -133,13 +134,21 @@ class TestExecution:
         drain_fallback_events()
 
     def test_run_replicated_records_fallback(self):
-        task = make_task("bold", simulator="direct-batch")
+        task = make_task("bold", simulator="direct-batch",
+                         collect_chunk_log=True)
         results = run_replicated(task, 3, campaign_seed=5, processes=1)
         assert len(results) == 3
         events = drain_fallback_events()
         assert [(e.requested, e.chosen) for e in events] == [
             ("direct-batch", "direct")
         ]
+
+    def test_run_replicated_adaptive_stays_on_batch(self):
+        task = make_task("awf-b", simulator="direct-batch")
+        results = run_replicated(task, 3, campaign_seed=5, processes=1)
+        assert len(results) == 3
+        assert all(r.stats.backend == "direct-batch" for r in results)
+        assert drain_fallback_events() == []
 
     def test_degraded_matches_direct_backend(self):
         """A degraded direct-batch task is bit-identical to asking for
@@ -200,7 +209,9 @@ class TestCapabilityMatrix:
         matrix = dict(capability_matrix())
         assert sorted(matrix) == backend_names()
         assert matrix["msg"]["adaptive_techniques"]
-        assert not matrix["direct-batch"]["adaptive_techniques"]
+        assert matrix["direct-batch"]["adaptive_techniques"]
+        assert matrix["direct-batch"]["nondeterministic_schedules"]
+        assert not matrix["direct-batch"]["chunk_log"]
 
     def test_docs_capability_matrix_in_sync(self):
         """docs/simulators.md embeds the generated matrix verbatim."""
@@ -221,4 +232,12 @@ class TestFallbackEvent:
             "requested": "a",
             "chosen": "b",
             "reason": "r",
+            "category": "capability",
         }
+
+    def test_category_distinguishes_non_capability_degradations(self):
+        event = FallbackEvent(
+            task_key="replicate_msg(n=1, p=2)", requested="process-pool",
+            chosen="serial", reason="does not pickle", category="pickle",
+        )
+        assert event.to_json()["category"] == "pickle"

@@ -22,13 +22,14 @@ from repro.workloads import ConstantWorkload, ExponentialWorkload
 from repro.workloads.distributions import GammaWorkload
 from repro.workloads.generator import make_rng
 
-#: every technique on the fast path
+#: every technique on the closed-form fast path
 BATCHABLE = (
     "stat", "ss", "css", "fsc", "gss", "tss", "fac", "fac2", "tap",
     "tfss", "fiss", "viss",
 )
-#: techniques that must fall back (worker-dependent or adaptive)
-NOT_BATCHABLE = ("wf", "pls", "rnd", "bold", "awf", "af")
+#: techniques served by the batched stepping kernel (worker-dependent
+#: or adaptive — no precomputable schedule, but a vectorized state)
+STEPPABLE = ("wf", "pls", "rnd", "bold", "awf", "af")
 
 
 def params(n=257, p=3, h=0.25):
@@ -40,9 +41,15 @@ class TestBatchSupported:
     def test_fast_path_techniques(self, name):
         assert batch_supported(name)
 
-    @pytest.mark.parametrize("name", NOT_BATCHABLE)
-    def test_fallback_techniques(self, name):
-        assert not batch_supported(name)
+    @pytest.mark.parametrize("name", STEPPABLE)
+    def test_stepping_techniques(self, name):
+        assert batch_supported(name)
+
+    def test_every_registered_technique_is_batchable(self):
+        """Closed form + stepping together cover the whole registry."""
+        from repro.core.registry import technique_names
+
+        assert all(batch_supported(name) for name in technique_names())
 
 
 class TestChunkSchedule:
@@ -142,9 +149,23 @@ class TestKernelDistribution:
         assert abs(gm - wm) <= tol
 
     def test_unsupported_technique_raises(self):
+        """A technique with neither a closed-form schedule nor a
+        registered stepping state is rejected with a clear error (wf et
+        al. used to be the example; they are steppable now)."""
+        from repro.core.base import Scheduler
+
+        class _Opaque(Scheduler):
+            name = "opaque-test-only"
+            label = "OPAQUE"
+            requires = frozenset({"p", "n"})
+            deterministic_schedule = False
+
+            def _chunk_size(self, worker: int) -> int:
+                return 1
+
         batch = BatchDirectSimulator(params(), ConstantWorkload(1.0))
         with pytest.raises(BatchScheduleUnavailableError):
-            batch.run_batch(get_technique("wf"), 2, seed=0)
+            batch.run_batch(_Opaque, 2, seed=0)
 
 
 class TestChunkTimesBatchDispatch:
@@ -203,13 +224,23 @@ class TestRunnerIntegration:
         pooled = run_replicated(task, runs, campaign_seed=11, processes=2)
         assert [r.makespan for r in pooled] == [r.makespan for r in seq]
 
-    def test_adaptive_falls_back_to_scalar(self):
-        """BOLD on direct-batch == BOLD on direct (same seeds)."""
-        got = run_replicated(
-            self.make_task("bold"), 3, campaign_seed=5, processes=1
+    def test_adaptive_runs_natively_on_batch(self):
+        """BOLD on direct-batch is served by the stepping kernel — no
+        fallback event — and on a deterministic workload it is
+        bit-identical to the scalar oracle run-for-run."""
+        import dataclasses
+
+        from repro.backends import drain_fallback_events
+
+        drain_fallback_events()
+        batch_task = dataclasses.replace(
+            self.make_task("bold"), workload=ConstantWorkload(1.0)
         )
+        got = run_replicated(batch_task, 3, campaign_seed=5, processes=1)
+        assert all(r.stats.backend == "direct-batch" for r in got)
+        assert drain_fallback_events() == []
         want = run_replicated(
-            self.make_task("bold", simulator="direct"), 3,
+            dataclasses.replace(batch_task, simulator="direct"), 3,
             campaign_seed=5, processes=1,
         )
         assert [r.makespan for r in got] == [r.makespan for r in want]

@@ -200,14 +200,26 @@ class TestSimulatorRoundTrip:
         assert code == 0
         assert "GSS on direct-batch" in capsys.readouterr().out
 
-    def test_simulate_reports_fallback(self, capsys):
+    def test_simulate_adaptive_on_batch_reports_no_fallback(self, capsys):
+        """The stepping kernel serves BOLD natively on direct-batch —
+        no degradation note (this cell used to print one)."""
         code = main([
             "simulate", "--technique", "bold", "--n", "64", "--p", "4",
             "--dist", "constant", "--simulator", "direct-batch",
         ])
         assert code == 0
         out = capsys.readouterr().out
-        assert "note: direct-batch -> direct" in out
+        assert "BOLD on direct-batch" in out
+        assert "note:" not in out
+
+    def test_simulate_reports_fallback(self, capsys):
+        code = main([
+            "simulate", "--technique", "af", "--n", "64", "--p", "4",
+            "--dist", "constant", "--simulator", "msg-fast",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "note: msg-fast -> msg" in out
 
 
 class TestRecommendCommand:

@@ -193,6 +193,12 @@ class TestJournal:
 
 class TestStatsSummary:
     def test_summary_names_backends_and_slowest_tasks(self, tmp_path):
+        from repro.backends import drain_fallback_events
+
+        # The process-wide fallback log deduplicates per (cell, hop); an
+        # earlier test may already have recorded awf's msg-fast -> msg
+        # hop, which would keep it out of this journal.
+        drain_fallback_events()
         path = tmp_path / "journal.jsonl"
         with journal_to(path):
             run_replicated(small_task(), 3, campaign_seed=5)
@@ -202,9 +208,40 @@ class TestStatsSummary:
         text = summarize_journal(load_journal(path))
         assert "msg-fast" in text
         assert "msg" in text
-        assert "fallback" in text
+        assert "capability fallbacks:" in text
         assert "slowest task" in text
         assert "fac2(n=256, p=4)" in text
+
+    def test_summary_groups_fallbacks_by_category(self):
+        records = [
+            {"kind": "task", "backend": "msg", "requested": "msg-fast",
+             "runs": 1, "wall_time_s": 0.1, "events": 10},
+            {"kind": "fallback", "requested": "msg-fast", "chosen": "msg",
+             "reason": "adaptive technique", "category": "capability"},
+            {"kind": "fallback", "requested": "process-pool",
+             "chosen": "serial", "reason": "does not pickle",
+             "category": "pickle"},
+        ]
+        text = summarize_journal(records)
+        assert "capability fallbacks:" in text
+        assert "other fallbacks (pickle):" in text
+        assert "process-pool -> serial" in text
+
+    def test_summary_zero_fallbacks_reads_as_such(self):
+        records = [
+            {"kind": "task", "backend": "direct-batch",
+             "requested": "direct-batch", "runs": 2, "wall_time_s": 0.1,
+             "events": 20},
+        ]
+        text = summarize_journal(records)
+        assert (
+            "fallbacks: none — every task ran on its requested backend"
+            in text
+        )
+
+    def test_summary_without_tasks_omits_fallback_line(self):
+        text = summarize_journal([{"kind": "provenance"}])
+        assert "fallbacks" not in text
 
 
 class TestProvenance:
