@@ -12,9 +12,12 @@ PRs can diff wall-clock numbers without re-running the baselines:
   (BENCH_PR6.json)
 * ``--pr7`` — adaptive stepping kernel vs scalar direct simulator
   (BENCH_PR7.json)
+* ``--pr8`` — scenario-axis no-op guard: the clean (scenario=None)
+  stepping cells re-timed against the committed PR-7 numbers, plus the
+  perturbed-cell overhead for context (BENCH_PR8.json)
 
 Usage:  PYTHONPATH=src python scripts/bench_snapshot.py
-            [--pr1|--pr2|--pr6|--pr7] [out.json]
+            [--pr1|--pr2|--pr6|--pr7|--pr8] [out.json]
 
 With no selector both snapshots are written to their default files.
 """
@@ -215,11 +218,77 @@ def snapshot_pr7() -> dict[str, float]:
     return out
 
 
+def snapshot_pr8() -> dict:
+    """Scenario-axis no-op guard (the PR-8 acceptance benchmark).
+
+    The perturbation plumbing must cost nothing when ``scenario=None``:
+    the kernel takes a single ``is None`` branch per round.  This
+    snapshot re-times the PR-7 stepping cells on the clean path (best
+    of three batches, to keep timer noise out of the committed delta)
+    and records the percentage drift against the committed
+    ``BENCH_PR7.json``; the drift must stay within a few percent (2%
+    modulo timer noise).  The same cells under the
+    ``perturbed-deterministic`` scenario are timed for context — that
+    overhead is real work (fault masking + requeues), not regression.
+    """
+    from repro.scenarios import get_scenario
+
+    out: dict = {
+        "_meta_workload": (
+            f"stepping cells (n=65536, p=64, exp workload, "
+            f"{STEPPING_RUNS} reps) clean vs committed PR-7 numbers; "
+            "perturbed-deterministic overhead for context"
+        ),
+    }
+    params = scheduling_params(65536, 64)
+    workload = ExponentialWorkload(1.0)
+    baseline_path = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
+    baseline: dict = {}
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+
+    scenario = get_scenario("perturbed-deterministic")
+    for key, technique, _ in STEPPING_CELLS:
+        factory = get_technique(technique)
+
+        clean = BatchDirectSimulator(params, workload)
+        clean_time = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            results = clean.run_batch(factory, STEPPING_RUNS, 0)
+            clean_time = min(clean_time, time.perf_counter() - t0)
+            assert len(results) == STEPPING_RUNS
+        cell = f"stepping_{key}_n65536_p64_{STEPPING_RUNS}reps_s"
+        out[f"clean_{cell}"] = round(clean_time, 4)
+        base = baseline.get(cell)
+        if base:
+            out[f"clean_vs_pr7_{key}_percent"] = round(
+                100.0 * (clean_time / base - 1.0), 2
+            )
+
+        perturbed = BatchDirectSimulator(
+            params, workload,
+            failures=scenario.failstop_model(params.p),
+            fluctuation=scenario.fluctuation_model(params.p),
+        )
+        t0 = time.perf_counter()
+        results = perturbed.run_batch(factory, STEPPING_RUNS, 0)
+        perturbed_time = time.perf_counter() - t0
+        assert len(results) == STEPPING_RUNS
+        assert all(r.extras["lost_chunks"] > 0 for r in results)
+        out[f"perturbed_{cell}"] = round(perturbed_time, 4)
+        out[f"perturbed_overhead_{key}_percent"] = round(
+            100.0 * (perturbed_time / clean_time - 1.0), 1
+        )
+    return out
+
+
 SNAPSHOTS = {
     "--pr1": (snapshot_pr1, "BENCH_PR1.json"),
     "--pr2": (snapshot_pr2, "BENCH_PR2.json"),
     "--pr6": (snapshot_pr6, "BENCH_PR6.json"),
     "--pr7": (snapshot_pr7, "BENCH_PR7.json"),
+    "--pr8": (snapshot_pr8, "BENCH_PR8.json"),
 }
 
 
@@ -242,7 +311,7 @@ def main() -> None:
         selected = list(SNAPSHOTS)
     if paths and len(selected) != 1:
         raise SystemExit("an explicit output path needs exactly one of "
-                         "--pr1/--pr2/--pr6/--pr7")
+                         "--pr1/--pr2/--pr6/--pr7/--pr8")
     for flag in selected:
         fn, default_name = SNAPSHOTS[flag]
         target = Path(paths[0]) if paths else root / default_name

@@ -75,6 +75,12 @@ class BackendCapabilities:
     #: per-chunk execution logs (``RunResult.chunk_log``) on request
     #: (``RunTask.collect_chunk_log``)
     chunk_log: bool = False
+    #: scenario speed-fluctuation models (waves, step slowdowns, load
+    #: noise — ``RunTask.scenario`` with fluctuation components)
+    fluctuation_scenarios: bool = False
+    #: scenario fail-stop fault injection with work loss
+    #: (``RunTask.scenario`` with a failstop component)
+    fault_scenarios: bool = False
 
 
 #: capability field -> short description for generated documentation
@@ -88,6 +94,8 @@ CAPABILITY_DESCRIPTIONS: dict[str, str] = {
     "max_events": "max_events budgets",
     "pooled_blocks": "pooled replication blocks",
     "chunk_log": "per-chunk execution logs (collect_chunk_log)",
+    "fluctuation_scenarios": "scenario speed fluctuations (wave/step/noise)",
+    "fault_scenarios": "scenario fail-stop faults (work loss)",
 }
 
 
@@ -251,6 +259,20 @@ class SimulationBackend(ABC):
                 "per-chunk execution logs are not recorded by the "
                 f"{self.name!r} backend"
             )
+        if task.scenario is not None:
+            if task.scenario.has_faults and not caps.fault_scenarios:
+                return (
+                    f"scenario {task.scenario.name!r} injects fail-stop "
+                    f"faults, which the {self.name!r} backend cannot "
+                    "simulate"
+                )
+            if task.scenario.has_fluctuations and (
+                not caps.fluctuation_scenarios
+            ):
+                return (
+                    f"scenario {task.scenario.name!r} perturbs PE speeds, "
+                    f"which the {self.name!r} backend cannot simulate"
+                )
         return None
 
     @staticmethod

@@ -4,12 +4,18 @@ Each backend wraps one execution substrate behind the uniform
 :class:`~repro.backends.base.SimulationBackend` interface:
 
 * ``msg`` — the event-driven SimGrid-MSG-like master-worker stack; the
-  most capable backend and the terminal fallback of the MSG family.
+  most capable network-modelling backend.  Perturbation scenarios
+  (``RunTask.scenario``) are the one axis it lacks, so it degrades to
+  ``direct`` — the only family with the fault/fluctuation models — with
+  a recorded event.
 * ``msg-fast`` — the compiled MSG fast path, bit-identical to ``msg``
   for closed-form techniques; degrades to ``msg`` otherwise.
-* ``direct`` — the scalar Hagerup-style chunk-level simulator.
+* ``direct`` — the scalar Hagerup-style chunk-level simulator; the only
+  backend supporting *every* scenario model on every technique.
 * ``direct-batch`` — the vectorized batch-replication kernel; degrades
-  to ``direct`` for techniques without a precomputable schedule.
+  to ``direct`` for techniques without a precomputable schedule and for
+  fail-stop scenarios on closed-form techniques (dynamic requeueing
+  invalidates a precomputed schedule).
 
 The run/seed semantics are exactly those the dispatch chains in
 ``runner.py`` used before the registry existed, so results are
@@ -59,6 +65,45 @@ def _spawned_entropies(
     ]
 
 
+def _scenario_models(task: "RunTask"):
+    """(failures, fluctuation) mechanism models from the task's scenario."""
+    if task.scenario is None:
+        return None, None
+    p = task.params.p
+    return (
+        task.scenario.failstop_model(p),
+        task.scenario.fluctuation_model(p),
+    )
+
+
+def _scenario_abort(task: "RunTask", exc: Exception) -> Exception:
+    """An all-workers-failed error that names the scenario and cell."""
+    from ..directsim.faults import AllWorkersFailedError
+
+    name = task.scenario.name if task.scenario is not None else "<custom>"
+    return AllWorkersFailedError(
+        f"scenario {name!r} killed every PE of "
+        f"{SimulationBackend.task_key(task)} before completion: {exc}"
+    )
+
+
+def _stamp_scenario(task: "RunTask", result: "RunResult") -> "RunResult":
+    """Stamp scenario identity + declared perturbation instants.
+
+    Both direct backends stamp the identical extras (the tuples below
+    are pure functions of the scenario and ``p``), so extras equality —
+    and with it whole-result bit-identity — holds across backends.
+    """
+    if task.scenario is None:
+        return result
+    result.extras["scenario"] = task.scenario.name
+    result.extras["perturbations"] = tuple(
+        (event.label, event.time, event.worker)
+        for event in task.scenario.events(task.params.p)
+    )
+    return result
+
+
 class _MsgBackendBase(SimulationBackend):
     """Shared construction of the master-worker simulation."""
 
@@ -103,7 +148,11 @@ class MsgBackend(_MsgBackendBase):
         pooled_blocks=False,
         chunk_log=True,
     )
-    fallback = None
+    #: the MSG stack has no fault/fluctuation models, so scenario tasks
+    #: degrade (with a recorded event) to the direct family — the one
+    #: that does.  Tasks combining a scenario with an MSG-only axis
+    #: (platforms, contention) exhaust the chain and fail loudly.
+    fallback = "direct"
 
     @property
     def simulation_cls(self):
@@ -188,6 +237,8 @@ class DirectBackend(SimulationBackend):
         max_events=False,
         pooled_blocks=False,
         chunk_log=True,
+        fluctuation_scenarios=True,
+        fault_scenarios=True,
     )
     fallback = None
 
@@ -195,7 +246,9 @@ class DirectBackend(SimulationBackend):
         self, task: "RunTask", seed: np.random.SeedSequence
     ) -> "RunResult":
         from ..directsim import DirectSimulator
+        from ..directsim.faults import AllWorkersFailedError
 
+        failures, fluctuation = _scenario_models(task)
         sim = DirectSimulator(
             task.params,
             task.workload,
@@ -205,8 +258,14 @@ class DirectBackend(SimulationBackend):
                 list(task.start_times) if task.start_times else None
             ),
             record_chunks=task.collect_chunk_log,
+            failures=failures,
+            fluctuation=fluctuation,
         )
-        return self.stamp_stats(sim.run(_scheduler_factory(task), seed))
+        try:
+            result = sim.run(_scheduler_factory(task), seed)
+        except AllWorkersFailedError as exc:
+            raise _scenario_abort(task, exc) from exc
+        return self.stamp_stats(_stamp_scenario(task, result))
 
 
 @register_backend
@@ -224,6 +283,8 @@ class DirectBatchBackend(SimulationBackend):
         staggered_starts=True,
         max_events=False,
         pooled_blocks=True,
+        fluctuation_scenarios=True,
+        fault_scenarios=True,
     )
     fallback = "direct"
 
@@ -247,6 +308,17 @@ class DirectBatchBackend(SimulationBackend):
                 "precomputable chunk schedule nor a batched stepping "
                 "state"
             )
+        if task.scenario is not None and task.scenario.has_faults:
+            from ..core.schedule import closed_form_supported
+
+            if closed_form_supported(task.technique):
+                return (
+                    f"scenario {task.scenario.name!r} injects fail-stop "
+                    "faults, whose requeued work invalidates the "
+                    "precomputed closed-form schedule this technique "
+                    "runs on (only the stepping path reschedules "
+                    "dynamically)"
+                )
         return None
 
     def result_version_for(self, task: "RunTask") -> int:
@@ -261,6 +333,7 @@ class DirectBatchBackend(SimulationBackend):
     def _simulator(self, task: "RunTask"):
         from ..directsim.batch import BatchDirectSimulator
 
+        failures, fluctuation = _scenario_models(task)
         return BatchDirectSimulator(
             task.params,
             task.workload,
@@ -269,16 +342,29 @@ class DirectBatchBackend(SimulationBackend):
             start_times=(
                 list(task.start_times) if task.start_times else None
             ),
+            failures=failures,
+            fluctuation=fluctuation,
         )
+
+    def _run_guarded(self, task: "RunTask", reps: int,
+                     seed: np.random.SeedSequence) -> list["RunResult"]:
+        from ..directsim.faults import AllWorkersFailedError
+
+        try:
+            results = self._simulator(task).run_batch(
+                _scheduler_factory(task), reps, seed
+            )
+        except AllWorkersFailedError as exc:
+            raise _scenario_abort(task, exc) from exc
+        return [
+            self.stamp_stats(_stamp_scenario(task, result))
+            for result in results
+        ]
 
     def run(
         self, task: "RunTask", seed: np.random.SeedSequence
     ) -> "RunResult":
-        return self.stamp_stats(
-            self._simulator(task).run_batch(
-                _scheduler_factory(task), 1, seed
-            )[0]
-        )
+        return self._run_guarded(task, 1, seed)[0]
 
     def replication_blocks(
         self, task: "RunTask", runs: int, campaign_seed: int | None
@@ -300,9 +386,4 @@ class DirectBatchBackend(SimulationBackend):
 
     def run_block(self, block: ReplicationBlock) -> list["RunResult"]:
         seed = np.random.SeedSequence(entropy=list(block.seed_entropy))
-        return [
-            self.stamp_stats(result)
-            for result in self._simulator(block.task).run_batch(
-                _scheduler_factory(block.task), block.runs, seed
-            )
-        ]
+        return self._run_guarded(block.task, block.runs, seed)

@@ -11,6 +11,7 @@ Subcommands::
     repro-dls stats journal.jsonl          # summarise a --trace journal
     repro-dls trace-export journal.jsonl --out trace.json   # Perfetto
     repro-dls cache stats ~/.repro-cache   # result-cache inspection
+    repro-dls scenarios list               # perturbation-scenario presets
 
 The ``--simulator`` choices everywhere are the registered simulation
 backends (:mod:`repro.backends`); an unknown name fails with the list of
@@ -25,6 +26,12 @@ environment variable supplies a default directory and ``--no-cache``
 turns caching off regardless.  ``--cache-verify F`` re-simulates the
 fraction ``F`` of cache hits and fails loudly if a stored result
 diverges from a fresh one.
+
+``--scenario NAME|FILE`` (run/simulate/campaign) perturbs the simulated
+machine with a :mod:`repro.scenarios` descriptor — a registered preset
+name (``repro-dls scenarios list``) or a JSON scenario file.  Perturbed
+runs key the cache separately from clean ones and surface fault counters
+in journals and ``repro-dls stats``.
 """
 
 from __future__ import annotations
@@ -68,6 +75,24 @@ def _cache_dir_from_args(args: argparse.Namespace) -> str | None:
     return args.cache or default_cache_dir()
 
 
+def _add_scenario_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", metavar="NAME|FILE", default=None,
+        help="perturb the simulated machine with a scenario: a preset "
+             "name (see `repro-dls scenarios list`) or a JSON scenario "
+             "file written by repro.scenarios",
+    )
+
+
+def _scenario_from_args(args: argparse.Namespace):
+    """Resolve --scenario to a Scenario, or None when the flag is unset."""
+    if args.scenario is None:
+        return None
+    from .scenarios import load_scenario
+
+    return load_scenario(args.scenario)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dls",
@@ -96,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None,
                      help="replication process-pool size (default: "
                           "REPRO_WORKERS env var or CPU count)")
+    _add_scenario_option(run)
     _add_cache_options(run)
 
     sub.add_parser("techniques", help="list DLS techniques and requirements")
@@ -146,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="render live progress heartbeats to stderr",
     )
+    _add_scenario_option(simu)
     _add_cache_options(simu)
 
     rec = sub.add_parser(
@@ -191,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="render live progress heartbeats to stderr",
     )
+    _add_scenario_option(campaign)
     _add_cache_options(campaign)
 
     cache = sub.add_parser(
@@ -219,6 +247,17 @@ def build_parser() -> argparse.ArgumentParser:
     cache_sub.choices["gc"].add_argument(
         "--max-bytes", type=int, default=None,
         help="evict oldest entries until the store fits this many bytes",
+    )
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="inspect perturbation scenarios (see docs/scenarios.md)",
+    )
+    scenarios_sub = scenarios.add_subparsers(
+        dest="scenarios_command", required=True
+    )
+    scenarios_sub.add_parser(
+        "list", help="list the registered scenario presets"
     )
 
     stats = sub.add_parser(
@@ -310,11 +349,14 @@ _RUN_KNOBS: dict[str, frozenset[str]] = {
     "table3": frozenset(),
     "fig3": frozenset({"simulator", "seed"}),
     "fig4": frozenset({"simulator", "seed"}),
-    "fig5": frozenset({"runs", "simulator", "seed", "processes"}),
-    "fig6": frozenset({"runs", "simulator", "seed", "processes"}),
-    "fig7": frozenset({"runs", "simulator", "seed", "processes"}),
-    "fig8": frozenset({"runs", "simulator", "seed", "processes"}),
-    "fig9": frozenset({"runs", "simulator", "seed", "processes"}),
+    "fig5": frozenset({"runs", "simulator", "seed", "processes", "scenario"}),
+    "fig6": frozenset({"runs", "simulator", "seed", "processes", "scenario"}),
+    "fig7": frozenset({"runs", "simulator", "seed", "processes", "scenario"}),
+    "fig8": frozenset({"runs", "simulator", "seed", "processes", "scenario"}),
+    "fig9": frozenset({"runs", "simulator", "seed", "processes", "scenario"}),
+    "robustness": frozenset(
+        {"runs", "simulator", "seed", "processes", "scenario"}
+    ),
     "scalability": frozenset({"runs", "seed"}),
     "css-sweep": frozenset({"seed"}),
     "tss-shapes": frozenset({"seed"}),
@@ -337,8 +379,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         kwargs["seed"] = args.seed
     if args.workers is not None:
         kwargs["processes"] = args.workers
+    if args.scenario is not None:
+        try:
+            kwargs["scenario"] = _scenario_from_args(args)
+        except ValueError as exc:
+            print(f"run: {exc}", file=sys.stderr)
+            return 2
     exp = get_experiment(args.experiment)
     allowed = _RUN_KNOBS.get(args.experiment, frozenset())
+    if "scenario" in kwargs and "scenario" not in allowed:
+        print(
+            f"run: experiment {args.experiment!r} does not accept "
+            "--scenario",
+            file=sys.stderr,
+        )
+        return 2
     kwargs = {k: v for k, v in kwargs.items() if k in allowed}
     cache_dir = _cache_dir_from_args(args)
     with contextlib.ExitStack() as stack:
@@ -424,6 +479,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     params = _params_from_args(args)
     workload = _workload_from_args(args)
+    try:
+        scenario = _scenario_from_args(args)
+    except ValueError as exc:
+        print(f"simulate: {exc}", file=sys.stderr)
+        return 2
     # Which simulator executes is decided by the backend registry's
     # capability-checked resolution (repro.backends), not here; the
     # per-run integer seeds reproduce the historical CLI outputs
@@ -433,6 +493,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         params=params,
         workload=workload,
         simulator=args.simulator,
+        scenario=scenario,
     )
     drain_fallback_events()
     tasks = [
@@ -465,6 +526,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  avg wasted time    : {statistics.mean(awt):.4f} s")
     print(f"  speedup            : {statistics.mean(sp):.3f} (ideal {args.p})")
     print(f"  scheduling chunks  : {statistics.mean(r.num_chunks for r in results):.1f}")
+    if scenario is not None:
+        lost_chunks = sum(r.extras.get("lost_chunks", 0) for r in results)
+        lost_tasks = sum(r.extras.get("lost_tasks", 0) for r in results)
+        print(
+            f"  scenario           : {scenario.name} — "
+            f"{lost_chunks} chunk(s) lost to faults "
+            f"({lost_tasks} task(s) requeued)"
+        )
     if args.metrics:
         print(f"  wrote metrics {args.metrics}")
     if cache is not None:
@@ -504,6 +573,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         kwargs["include_tss"] = False
     kwargs["simulator"] = args.simulator
     kwargs["workers"] = args.workers
+    try:
+        scenario = _scenario_from_args(args)
+    except ValueError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    if scenario is not None:
+        kwargs["scenario"] = scenario
     cache_dir = _cache_dir_from_args(args)
     if cache_dir is not None:
         kwargs["cache"] = cache_dir
@@ -601,6 +677,25 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         f"{life['stores']} store(s), {life['evictions']} eviction(s), "
         f"hit-rate {life['hit_rate_percent']:.1f}%, "
         f"est. {life['saved_wall_s']:.2f}s saved"
+    )
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .scenarios import PRESETS, preset_notes
+
+    if args.scenarios_command != "list":  # pragma: no cover
+        raise AssertionError(args.scenarios_command)
+    width = max(len(name) for name in PRESETS)
+    for name, scenario in PRESETS.items():
+        print(f"{name:<{width}s}  {scenario.describe()}")
+        note = preset_notes().get(name)
+        if note:
+            print(f"{'':<{width}s}  {note}")
+    print()
+    print(
+        "use one with `--scenario NAME`, or save a custom scenario to "
+        "JSON (repro.scenarios.Scenario.save) and pass the file path"
     )
     return 0
 
@@ -758,6 +853,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_campaign(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "trace-export":

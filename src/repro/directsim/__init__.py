@@ -9,9 +9,12 @@ from .batch import (
 )
 from .faults import (
     AllWorkersFailedError,
+    CompositeFluctuation,
+    CyclicFluctuation,
     FailStop,
     Fluctuation,
     LognormalFluctuation,
+    SimulationError,
     StepFluctuation,
 )
 from .simulator import ChunkExecution, DirectSimulator, RunResult, replicate
@@ -21,12 +24,15 @@ __all__ = [
     "BatchDirectSimulator",
     "BatchScheduleUnavailableError",
     "ChunkExecution",
+    "CompositeFluctuation",
+    "CyclicFluctuation",
     "DirectSimulator",
     "FailStop",
     "Fluctuation",
     "LognormalFluctuation",
     "OverheadModel",
     "RunResult",
+    "SimulationError",
     "StepFluctuation",
     "average_wasted_time",
     "batch_replicate",

@@ -38,10 +38,20 @@ the same fidelity contract as the closed-form path (bit-identical for
 deterministic workloads, equal in distribution otherwise; see
 ``tests/test_stepping_kernel.py`` and docs/simulators.md).
 
-Still not supported (callers must fall back to the scalar simulator):
-fault injection and per-chunk speed fluctuation.  Per-chunk execution
-logs are recorded only on request (``record_chunks=True``) and only on
-the stepping path — the closed-form path keeps its log-free fast lane.
+Perturbation scenarios run vectorized too: per-chunk speed-fluctuation
+multipliers (triangle waves, step slowdowns, lognormal load noise —
+the models a :class:`repro.scenarios.Scenario` compiles to) apply on
+both paths, and fail-stop fault injection with work loss runs on the
+stepping path (dead PEs are masked out of the argmin pop; lost chunk
+regions requeue through the same LIFO stack semantics as the scalar
+scheduler).  Deterministic perturbations stay bit-identical to the
+scalar simulator; lognormal noise shares the block RNG, so stochastic
+scenarios are equal in distribution only.  Fail-stop on a *closed-form*
+technique is the one unsupported combination (dynamic requeueing
+invalidates a precomputed schedule) — callers fall back to the scalar
+simulator there.  Per-chunk execution logs are recorded only on request
+(``record_chunks=True``) and only on the stepping path — the
+closed-form path keeps its log-free fast lane.
 """
 
 from __future__ import annotations
@@ -64,6 +74,15 @@ from ..results import ChunkExecution, RunResult
 from ..workloads.distributions import Workload
 from ..workloads.generator import make_rng
 from .accounting import OverheadModel
+from .faults import (
+    AllWorkersFailedError,
+    CompositeFluctuation,
+    CyclicFluctuation,
+    FailStop,
+    Fluctuation,
+    LognormalFluctuation,
+    StepFluctuation,
+)
 
 #: cap on R * C elements per simulated block (~128 MB of float64), so
 #: huge cells (SS at n = 524,288) stream through in replication blocks.
@@ -91,16 +110,137 @@ def batch_supported(technique: str | type[Scheduler]) -> bool:
 BatchScheduleUnavailableError = ScheduleUnavailableError
 
 
+class _PerturbationArrays:
+    """Fault/fluctuation models lowered to per-worker arrays.
+
+    Built once per simulator from the scalar mechanism models in
+    :mod:`repro.directsim.faults`; the kernels index the arrays with the
+    popped worker vector each round.  Only the model types a
+    :class:`repro.scenarios.Scenario` compiles to have an array form —
+    an arbitrary :class:`~repro.directsim.faults.Fluctuation` callable
+    is rejected at construction time with a pointer to the scalar
+    simulator.
+
+    The deterministic models (wave, step) use only exactly-rounded IEEE
+    operations in the same order as their scalar counterparts, so the
+    multipliers — and everything downstream — are bit-identical to
+    :class:`~repro.directsim.simulator.DirectSimulator`.  Lognormal
+    noise draws from the shared block RNG instead of one interleaved
+    draw per pop, so stochastic scenarios are equal in distribution
+    only.
+    """
+
+    __slots__ = ("fail_times", "_components")
+
+    def __init__(
+        self,
+        p: int,
+        failures: FailStop | None,
+        fluctuation: Fluctuation | None,
+    ):
+        self.fail_times: np.ndarray | None = None
+        if failures is not None:
+            if not isinstance(failures, FailStop):
+                raise ValueError(
+                    f"cannot vectorize failure model "
+                    f"{type(failures).__name__}; use the scalar direct "
+                    "simulator"
+                )
+            fail = np.full(p, np.inf)
+            for worker, fail_time in failures.fail_times.items():
+                if worker < p:  # like the scalar dict: extra PEs never pop
+                    fail[worker] = float(fail_time)
+            self.fail_times = fail
+        self._components: list[tuple] = []
+        for component in self._flatten(fluctuation):
+            lowered = self._lower(p, component)
+            if lowered is not None:
+                self._components.append(lowered)
+
+    @staticmethod
+    def _flatten(fluctuation: Fluctuation | None) -> tuple:
+        if fluctuation is None:
+            return ()
+        if isinstance(fluctuation, CompositeFluctuation):
+            return fluctuation.components
+        return (fluctuation,)
+
+    @staticmethod
+    def _lower(p: int, component) -> tuple | None:
+        if isinstance(component, CyclicFluctuation):
+            phase = np.zeros(p)
+            mask = np.zeros(p, dtype=bool)
+            for worker, value in component.phases.items():
+                if worker < p:
+                    phase[worker] = float(value)
+                    mask[worker] = True
+            return ("wave", component.period, component.amplitude,
+                    phase, mask)
+        if isinstance(component, StepFluctuation):
+            times = np.full(p, np.inf)
+            factors = np.ones(p)
+            for worker, (step_time, factor) in component.factors.items():
+                if worker < p:
+                    times[worker] = float(step_time)
+                    factors[worker] = float(factor)
+            return ("step", times, factors)
+        if isinstance(component, LognormalFluctuation):
+            if component.sigma == 0:  # scalar returns 1.0 without a draw
+                return None
+            return ("noise", -component.sigma ** 2 / 2.0, component.sigma)
+        raise ValueError(
+            f"cannot vectorize fluctuation model "
+            f"{type(component).__name__}; use the scalar direct simulator"
+        )
+
+    @property
+    def has_fluctuation(self) -> bool:
+        return bool(self._components)
+
+    def speed_multipliers(
+        self, w: np.ndarray, t: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray | None:
+        """The per-pop speed factors for workers ``w`` popped at ``t``.
+
+        Factors multiply in component order — the scalar
+        :class:`~repro.directsim.faults.CompositeFluctuation` contract —
+        and a leading implicit 1.0 is dropped (``1.0 * x == x`` bitwise).
+        Returns ``None`` when no fluctuation component is present.
+        """
+        mult: np.ndarray | None = None
+        for component in self._components:
+            kind = component[0]
+            if kind == "wave":
+                _, period, amplitude, phase, mask = component
+                x = t / period + phase[w]
+                u = x - np.floor(x)
+                m = np.where(
+                    mask[w],
+                    1.0 + amplitude * (4.0 * np.abs(u - 0.5) - 1.0),
+                    1.0,
+                )
+            elif kind == "step":
+                _, times, factors = component
+                m = np.where(t >= times[w], factors[w], 1.0)
+            else:  # noise
+                _, mean, sigma = component
+                m = rng.lognormal(mean=mean, sigma=sigma, size=t.shape)
+            mult = m if mult is None else mult * m
+        return mult
+
+
 class BatchDirectSimulator:
     """Batch-replication counterpart of :class:`DirectSimulator`.
 
     Takes the same cell description (params, workload, overhead model,
-    speeds, start times) but simulates ``reps`` independent replications
-    per :meth:`run_batch` call using the vectorized kernel.  Fault
-    injection and fluctuation are intentionally absent — use the scalar
-    simulator for those scenarios.  ``record_chunks`` keeps per-chunk
-    execution logs on the stepping path only (the closed-form path has
-    no per-chunk loop to log from).
+    speeds, start times, failures, fluctuation) but simulates ``reps``
+    independent replications per :meth:`run_batch` call using the
+    vectorized kernel.  Fluctuation applies on both paths; fail-stop
+    fault injection runs on the stepping path only (a precomputed
+    closed-form schedule cannot absorb requeued work — use the scalar
+    simulator there).  ``record_chunks`` keeps per-chunk execution logs
+    on the stepping path only (the closed-form path has no per-chunk
+    loop to log from).
     """
 
     def __init__(
@@ -112,6 +252,8 @@ class BatchDirectSimulator:
         start_times: Sequence[float] | None = None,
         max_block_elements: int = DEFAULT_MAX_BLOCK_ELEMENTS,
         record_chunks: bool = False,
+        failures: FailStop | None = None,
+        fluctuation: Fluctuation | None = None,
     ):
         self.params = params
         self.workload = workload
@@ -136,6 +278,16 @@ class BatchDirectSimulator:
             raise ValueError("max_block_elements must be >= 1")
         self.max_block_elements = int(max_block_elements)
         self.record_chunks = record_chunks
+        self.failures = failures
+        self.fluctuation = fluctuation
+        # None for a clean system, so the kernels' per-round perturbation
+        # branches reduce to one ``is None`` check (scenario=None is a
+        # no-op on the hot path — BENCH_PR8.json guards this).
+        self._perturb: _PerturbationArrays | None = None
+        if failures is not None or fluctuation is not None:
+            self._perturb = _PerturbationArrays(
+                params.p, failures, fluctuation
+            )
 
     def run_batch(
         self,
@@ -164,6 +316,15 @@ class BatchDirectSimulator:
         results: list[RunResult] = []
         done = 0
         if closed_form_supported(scheduler):
+            if self._perturb is not None and (
+                self._perturb.fail_times is not None
+            ):
+                raise ScheduleUnavailableError(
+                    f"{scheduler.label or scheduler.name} has only a "
+                    "precomputed closed-form schedule, which fail-stop "
+                    "requeueing would invalidate; use the scalar "
+                    "simulator for fault scenarios on this technique"
+                )
             schedule = precompute_schedule(scheduler)
             label, starts, sizes = (
                 schedule.label, schedule.starts, schedule.sizes
@@ -221,12 +382,22 @@ class BatchDirectSimulator:
         if model is OverheadModel.SERIALIZED_MASTER:
             master_free = np.zeros(reps)
 
+        perturb = self._perturb
         for c in range(num_chunks):
             w = np.argmin(ready, axis=1)
             t = ready[rows, w]
             # True division (not multiplication by a reciprocal) so the
-            # ready times match the scalar simulator bit-for-bit.
-            elapsed = task_times[:, c] / self.speeds[w]
+            # ready times match the scalar simulator bit-for-bit; the
+            # scalar loop multiplies the fluctuation factor into the
+            # speed before dividing, so the perturbed branch does too.
+            if perturb is None:
+                elapsed = task_times[:, c] / self.speeds[w]
+            else:
+                mult = perturb.speed_multipliers(w, t, rng)
+                speed = self.speeds[w] if mult is None else (
+                    self.speeds[w] * mult
+                )
+                elapsed = task_times[:, c] / speed
             if model is OverheadModel.PER_WORKER:
                 begin = t + h
             elif model is OverheadModel.SERIALIZED_MASTER:
@@ -289,6 +460,18 @@ class BatchDirectSimulator:
         the round set, exactly as the scalar loop stops popping once
         the scheduler is done (its final pending completions are never
         consulted again, so they are not reported).
+
+        Under a fail-stop model the round additionally mirrors the
+        scalar fault semantics: a popped worker that is already dead
+        reports its pending completion (the chunk finished before the
+        failure) and is masked out of future pops; a worker that dies
+        mid-chunk loses the chunk — its task region is pushed onto a
+        per-replication LIFO requeue stack that overrides the next
+        chunk-size assignments, exactly like the scalar scheduler's
+        ``requeue_chunk``/``next_chunk`` pair.  A replication whose
+        live workers are all dead while tasks remain raises
+        :class:`~repro.directsim.faults.AllWorkersFailedError`, like
+        the scalar loop's empty-heap exit.
         """
         t_wall = time.perf_counter()
         p = self.params.p
@@ -314,13 +497,34 @@ class BatchDirectSimulator:
             [[] for _ in range(reps)] if self.record_chunks else None
         )
 
+        perturb = self._perturb
+        fail_times = perturb.fail_times if perturb is not None else None
+        lost_chunks = np.zeros(reps, dtype=np.int64)
+        lost_tasks = np.zeros(reps, dtype=np.int64)
+        if fail_times is not None:
+            # Scalar Scheduler._requeued: one LIFO (start, region) stack
+            # per replication, consulted before advancing next_task.
+            requeued: list[list[tuple[int, int]]] = [[] for _ in range(reps)]
+            has_requeue = np.zeros(reps, dtype=bool)
+
         while True:
             rows = np.flatnonzero(remaining > 0)
             if rows.size == 0:
                 break
             w = np.argmin(ready[rows], axis=1)
             t = ready[rows, w]
+            if fail_times is not None and not np.all(np.isfinite(t)):
+                # The argmin found only dead (inf-ready) workers for
+                # some replication: the scalar loop's empty-heap exit.
+                rep = int(rows[np.flatnonzero(~np.isfinite(t))[0]])
+                raise AllWorkersFailedError(
+                    f"{int(remaining[rep])} tasks remain but no live "
+                    f"worker can execute them (replication {rep})"
+                )
 
+            # Deferred completion reporting happens before the dead-PE
+            # check, like the scalar loop: a chunk that finished before
+            # its worker's failure still feeds the adaptive state.
             fin_size = pend_size[rows, w]
             fin = fin_size > 0
             if fin.any():
@@ -331,6 +535,17 @@ class BatchDirectSimulator:
                 )
                 pend_size[fr, fw] = 0
 
+            if fail_times is not None:
+                pre_dead = t >= fail_times[w]
+                if pre_dead.any():
+                    # Dead PEs never request work again: mask them out
+                    # of every future argmin pop.
+                    ready[rows[pre_dead], w[pre_dead]] = np.inf
+                    keep = ~pre_dead
+                    rows, w, t = rows[keep], w[keep], t[keep]
+                    if rows.size == 0:
+                        continue
+
             sizes = state.chunk_sizes(
                 rows, w, remaining[rows], outstanding[rows]
             )
@@ -339,24 +554,84 @@ class BatchDirectSimulator:
             sizes = np.maximum(
                 np.minimum(sizes.astype(np.int64), remaining[rows]), 1
             )
-            starts = next_task[rows]
-            next_task[rows] += sizes
+            if fail_times is None or not has_requeue[rows].any():
+                starts = next_task[rows]
+                next_task[rows] += sizes
+            else:
+                # Scalar next_chunk: when the requeue stack is
+                # non-empty, the clipped size is served from the
+                # stack's top region (split or consumed whole) and
+                # next_task does not advance.
+                starts = next_task[rows].copy()
+                advance = sizes.copy()
+                for k in np.flatnonzero(has_requeue[rows]):
+                    stack = requeued[rows[k]]
+                    rstart, region = stack.pop()
+                    size_k = int(sizes[k])
+                    if size_k < region:
+                        stack.append((rstart + size_k, region - size_k))
+                    else:
+                        sizes[k] = region
+                    starts[k] = rstart
+                    advance[k] = 0
+                    has_requeue[rows[k]] = bool(stack)
+                next_task[rows] += advance
             remaining[rows] -= sizes
             outstanding[rows] += sizes
             num_chunks[rows] += 1
             state.after_assignment(rows, w, sizes)
 
             task_time = self.workload.chunk_times_round(starts, sizes, rng)
-            elapsed = task_time / self.speeds[w]
+            if perturb is None:
+                elapsed = task_time / self.speeds[w]
+            else:
+                # The scalar loop multiplies the fluctuation factor
+                # into the speed before the (bit-exact) true division.
+                mult = perturb.speed_multipliers(w, t, rng)
+                speed = self.speeds[w] if mult is None else (
+                    self.speeds[w] * mult
+                )
+                elapsed = task_time / speed
             if model is OverheadModel.PER_WORKER:
                 begin = t + h
             elif model is OverheadModel.SERIALIZED_MASTER:
+                # The scalar loop advances master_free before the
+                # mid-chunk failure check, so a lost chunk still
+                # occupies the master.
                 mf = np.maximum(master_free[rows], t) + h
                 master_free[rows] = mf
                 begin = mf
             else:  # POST_HOC — scheduling is free inside the simulation
                 begin = t
             end = begin + elapsed
+
+            if fail_times is not None:
+                died = fail_times[w] < end
+                if died.any():
+                    # The PE dies mid-chunk: work is lost and the task
+                    # region requeued; the PE never pops again.
+                    dr, dw = rows[died], w[died]
+                    dsizes = sizes[died]
+                    remaining[dr] += dsizes
+                    outstanding[dr] -= dsizes
+                    lost_chunks[dr] += 1
+                    lost_tasks[dr] += dsizes
+                    ready[dr, dw] = np.inf
+                    dstarts = starts[died]
+                    for k in range(dr.size):
+                        requeued[dr[k]].append(
+                            (int(dstarts[k]), int(dsizes[k]))
+                        )
+                        has_requeue[dr[k]] = True
+                    keep = ~died
+                    rows, w, sizes, starts = (
+                        rows[keep], w[keep], sizes[keep], starts[keep]
+                    )
+                    task_time, elapsed = task_time[keep], elapsed[keep]
+                    begin, end = begin[keep], end[keep]
+                    if rows.size == 0:
+                        continue
+
             ready[rows, w] = end
             compute[rows, w] += elapsed
             counts[rows, w] += 1
@@ -394,7 +669,10 @@ class BatchDirectSimulator:
                 num_chunks=int(num_chunks[r]),
                 total_task_time=float(total[r]),
                 chunk_log=logs[r] if logs is not None else [],
-                extras={"lost_chunks": 0, "lost_tasks": 0},
+                extras={
+                    "lost_chunks": int(lost_chunks[r]),
+                    "lost_tasks": int(lost_tasks[r]),
+                },
                 stats=RunStats(
                     fast_path=True,
                     events=int(num_chunks[r]),

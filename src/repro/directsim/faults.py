@@ -10,9 +10,17 @@ those experiments:
   executing is lost and its task region is requeued to the scheduler
   (fail-stop with work loss, the model of [3]).
 * Fluctuations — a per-chunk multiplicative speed factor modelling
-  background load: :class:`LognormalFluctuation` (stationary noise) and
-  :class:`StepFluctuation` (a PE slows down at a point in time), as in
-  the fluctuating-load scenarios of [2].
+  background load: :class:`LognormalFluctuation` (stationary noise),
+  :class:`StepFluctuation` (a PE slows down at a point in time) and
+  :class:`CyclicFluctuation` (deterministic periodic background load),
+  as in the fluctuating-load scenarios of [2].
+  :class:`CompositeFluctuation` multiplies several models together.
+
+These are the *mechanism* layer.  The declarative, campaign-level
+description of a perturbed experiment — which fraction of PEs slows
+down, when faults strike, how much noise — lives in
+:mod:`repro.scenarios`, whose :class:`~repro.scenarios.Scenario`
+descriptors compile down to the models in this module.
 """
 
 from __future__ import annotations
@@ -113,5 +121,70 @@ class StepFluctuation:
         return factor if time >= step_time else 1.0
 
 
-class AllWorkersFailedError(RuntimeError):
+@dataclass(frozen=True)
+class CyclicFluctuation:
+    """Deterministic periodic background load (a triangle wave).
+
+    The multiplier for an affected PE is ``1 + amplitude * tri(x)``
+    with ``x = time / period + phase`` and ``tri`` a triangle wave in
+    ``[-1, 1]``.  ``phases`` maps worker -> phase offset (in cycles);
+    workers absent from the mapping are unaffected (multiplier 1.0).
+
+    The wave is built from division, ``floor``, ``abs`` and
+    multiplication only — all exactly-rounded IEEE operations — so
+    scalar and vectorized (NumPy) evaluation agree bit for bit.  That
+    property is what lets the batch kernel stay bit-identical to the
+    scalar simulator under deterministic fluctuation scenarios.
+    """
+
+    period: float
+    amplitude: float
+    phases: Mapping[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (self.period > 0 and math.isfinite(self.period)):
+            raise ValueError(
+                f"period must be positive and finite, got {self.period}"
+            )
+        if not 0 <= self.amplitude < 1:
+            raise ValueError(
+                "amplitude must be in [0, 1) so speeds stay positive, "
+                f"got {self.amplitude}"
+            )
+        for worker in self.phases:
+            if worker < 0:
+                raise ValueError(f"invalid worker index {worker}")
+
+    def multiplier(self, worker, time, rng) -> float:
+        phase = self.phases.get(worker)
+        if phase is None:
+            return 1.0
+        x = time / self.period + phase
+        u = x - math.floor(x)
+        return 1.0 + self.amplitude * (4.0 * abs(u - 0.5) - 1.0)
+
+
+@dataclass(frozen=True)
+class CompositeFluctuation:
+    """The product of several fluctuation models, applied in order.
+
+    The multiplication order is part of the contract: the batch kernel
+    reproduces it factor by factor, so deterministic compositions stay
+    bit-identical between the scalar and vectorized simulators.
+    """
+
+    components: tuple = ()
+
+    def multiplier(self, worker, time, rng) -> float:
+        m = 1.0
+        for component in self.components:
+            m *= component.multiplier(worker, time, rng)
+        return m
+
+
+class SimulationError(RuntimeError):
+    """A simulated campaign cannot make progress (e.g. every PE died)."""
+
+
+class AllWorkersFailedError(SimulationError):
     """Raised when every PE has failed while tasks remain."""

@@ -17,7 +17,10 @@ from __future__ import annotations
 import os
 import zlib
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..scenarios import Scenario
 
 from ..backends import FallbackEvent, drain_fallback_events, get_backend
 from ..core.params import SchedulingParams
@@ -81,6 +84,7 @@ def run_bold_experiment(
     simulator: str = "msg",
     seed: int = 2017,
     processes: int | None = None,
+    scenario: "Scenario | None" = None,
 ) -> BoldExperimentResult:
     """Reproduce one of the four n-task experiments (Figures 5-8 a/b).
 
@@ -88,7 +92,10 @@ def run_bold_experiment(
     serve degrade along its declared fallback chain, and the recorded
     :class:`~repro.backends.FallbackEvent` objects are attached to the
     result (``result.fallbacks``) and surfaced in the ``fig5``-``fig8``
-    reports.
+    reports.  ``scenario`` perturbs every cell with a
+    :class:`repro.scenarios.Scenario` (speed fluctuations and/or
+    fail-stop faults); perturbed cells key the result cache separately
+    from clean ones.
     """
     get_backend(simulator)  # fail fast on unknown backends
     if runs is None:
@@ -112,6 +119,7 @@ def run_bold_experiment(
                 workload=workload,
                 simulator=simulator,
                 overhead_model=OverheadModel.POST_HOC,
+                scenario=scenario,
             )
             results = run_replicated(
                 task, runs,
@@ -164,6 +172,7 @@ def fac_outlier_study(
     seed: int = 1997,
     technique: str = "fac",
     processes: int | None = None,
+    scenario: "Scenario | None" = None,
 ) -> FacOutlierResult:
     """Reproduce Figure 9: the heavy tail of FAC's per-run wasted time.
 
@@ -177,13 +186,19 @@ def fac_outlier_study(
         workload=ExponentialWorkload(BOLD_MU),
         simulator=simulator,
         overhead_model=OverheadModel.POST_HOC,
+        scenario=scenario,
     )
     drain_fallback_events()  # scope the log to this study
     results = run_replicated(task, runs, campaign_seed=seed,
                              processes=processes)
     per_run = [r.average_wasted_time for r in results]
     mean = sum(per_run) / len(per_run)
-    mean_excl, num_above = mean_excluding_above(per_run, threshold)
+    try:
+        mean_excl, num_above = mean_excluding_above(per_run, threshold)
+    except ValueError:
+        # a perturbed machine can push every run past the outlier
+        # threshold; report that instead of aborting the campaign
+        mean_excl, num_above = float("nan"), len(per_run)
     return FacOutlierResult(
         n=n, p=p, runs=runs, threshold=threshold,
         per_run=per_run, mean=mean,

@@ -9,7 +9,10 @@ the source of the numbers in EXPERIMENTS.md.
 from __future__ import annotations
 
 import time
-from typing import Mapping, TextIO
+from typing import TYPE_CHECKING, Mapping, TextIO
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..scenarios import Scenario
 
 #: default replications per BOLD task count (MSG simulator side)
 DEFAULT_CAMPAIGN_RUNS: dict[int, int] = {
@@ -27,6 +30,7 @@ def run_full_campaign(
     workers: int | None = None,
     cache: "str | None" = None,
     cache_verify: float = 0.0,
+    scenario: "Scenario | None" = None,
 ) -> float:
     """Run everything; returns the total wall time in seconds.
 
@@ -46,6 +50,12 @@ def run_full_campaign(
     that fraction of cache hits and fails loudly on divergence.  A cache
     already activated by the caller (:func:`repro.cache.set_cache`) is
     used as-is.
+
+    ``scenario`` perturbs the BOLD experiments (figs 5-9) with a
+    :class:`repro.scenarios.Scenario` and appends the robustness study
+    comparing the perturbed techniques against their clean baselines.
+    Perturbed cells key the cache separately from clean ones, so a
+    perturbed campaign reuses nothing from a clean one by accident.
     """
     import contextlib
 
@@ -58,7 +68,8 @@ def run_full_campaign(
         if cache is not None:
             stack.enter_context(cache_to(cache, verify_fraction=cache_verify))
         return _run_full_campaign_body(
-            out, campaign_runs, fig9_runs, include_tss, simulator, workers
+            out, campaign_runs, fig9_runs, include_tss, simulator, workers,
+            scenario,
         )
 
 
@@ -69,6 +80,7 @@ def _run_full_campaign_body(
     include_tss: bool,
     simulator: str,
     workers: int | None,
+    scenario: "Scenario | None" = None,
 ) -> float:
     import sys
 
@@ -101,22 +113,40 @@ def _run_full_campaign_body(
             emit(EXPERIMENTS[fig].run())
             emit(f"[{fig} took {time.time() - t:.1f}s]")
 
+    scenario_kwargs = {} if scenario is None else {"scenario": scenario}
     fig_by_n = {1024: "fig5", 8192: "fig6", 65536: "fig7", 524288: "fig8"}
     for n, fig in fig_by_n.items():
         if n not in campaign_runs:
             continue
         runs = campaign_runs[n]
-        banner(f"{fig} — BOLD experiment, {n:,} tasks ({runs} runs)")
+        suffix = "" if scenario is None else f", scenario={scenario.name}"
+        banner(f"{fig} — BOLD experiment, {n:,} tasks ({runs} runs{suffix})")
         t = time.time()
         emit(EXPERIMENTS[fig].run(runs=runs, simulator=simulator,
-                                  processes=workers))
+                                  processes=workers, **scenario_kwargs))
         emit(f"[{fig} took {time.time() - t:.1f}s]")
 
     if fig9_runs > 0:
         banner(f"fig9 — FAC outlier study ({fig9_runs} runs)")
         t = time.time()
-        emit(EXPERIMENTS["fig9"].run(runs=fig9_runs, processes=workers))
+        emit(EXPERIMENTS["fig9"].run(runs=fig9_runs, processes=workers,
+                                     **scenario_kwargs))
         emit(f"[fig9 took {time.time() - t:.1f}s]")
+
+    if scenario is not None:
+        smallest = min(campaign_runs) if campaign_runs else 1024
+        banner(
+            f"robustness — perturbed vs clean makespan "
+            f"(scenario={scenario.name}, n={smallest:,})"
+        )
+        t = time.time()
+        emit(EXPERIMENTS["robustness"].run(
+            scenario=scenario,
+            n=smallest,
+            runs=min(campaign_runs.get(smallest, 5), 10),
+            processes=workers,
+        ))
+        emit(f"[robustness took {time.time() - t:.1f}s]")
 
     total = time.time() - t0
     emit(f"\ntotal campaign time: {total:.1f}s")

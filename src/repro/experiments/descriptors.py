@@ -116,6 +116,19 @@ def _run_fig9(**kwargs) -> str:
     )
 
 
+def _run_robustness(**kwargs) -> str:
+    from ..scenarios import get_scenario
+    from .robustness import robustness_report, run_robustness_study
+
+    scenario = kwargs.pop("scenario", None)
+    if scenario is None:
+        scenario = get_scenario("perturbed")
+    result = run_robustness_study(scenario, **kwargs)
+    return "\n".join(
+        [robustness_report(result)] + _fallback_lines(result.fallbacks)
+    )
+
+
 def _run_scalability(mode: str = "strong", **kwargs) -> str:
     from .scalability import efficiency_report, run_scaling_study
 
@@ -212,6 +225,12 @@ EXPERIMENTS: dict[str, ExperimentDescriptor] = {
         run=_run_fig9,
     ),
     # Extension studies (companion-study scenarios, not paper artifacts).
+    "robustness": ExperimentDescriptor(
+        id="robustness",
+        paper_artifact="(ext: refs [2,3])",
+        description="Makespan degradation under a perturbation scenario",
+        run=_run_robustness,
+    ),
     "scalability": ExperimentDescriptor(
         id="scalability",
         paper_artifact="(ext: ref [1])",

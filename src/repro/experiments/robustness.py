@@ -1,0 +1,165 @@
+"""Extension study: technique robustness under perturbation scenarios.
+
+For each DLS technique the study runs the same (n, p) cell twice —
+once on a clean machine and once under a :class:`repro.scenarios.Scenario`
+— and reports the makespan degradation the perturbations cause.  This
+regenerates the spirit of the companion studies' robustness figures
+(IPDPS-W 2013 flexibility, ISPDC 2015 resilience) on top of the
+reproduction's own simulators.
+
+Both halves go through the active result cache (:mod:`repro.cache`)
+when one is set, and the scenario participates in the cache key, so a
+clean baseline computed by an earlier campaign is reused as-is while
+the perturbed runs are keyed — and cached — separately.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from ..backends import FallbackEvent, drain_fallback_events, get_backend
+from ..workloads.distributions import ExponentialWorkload
+from .bold_experiments import BOLD_MU, scheduling_params
+from .runner import RunTask, run_replicated
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..scenarios import Scenario
+
+__all__ = [
+    "RobustnessResult",
+    "RobustnessRow",
+    "robustness_report",
+    "run_robustness_study",
+]
+
+#: techniques spanning static, non-adaptive dynamic, and adaptive DLS
+DEFAULT_TECHNIQUES = ("stat", "ss", "gss", "tss", "fac", "awf-c", "bold")
+
+
+@dataclass(frozen=True)
+class RobustnessRow:
+    """One technique's clean-vs-perturbed makespan comparison."""
+
+    technique: str
+    clean_makespan: float
+    perturbed_makespan: float
+    lost_chunks: int
+    lost_tasks: int
+
+    @property
+    def degradation_percent(self) -> float:
+        if self.clean_makespan == 0.0:
+            return 0.0
+        return 100.0 * (
+            self.perturbed_makespan / self.clean_makespan - 1.0
+        )
+
+
+@dataclass
+class RobustnessResult:
+    """The robustness study over every technique, for one (n, p) cell."""
+
+    scenario_name: str
+    n: int
+    p: int
+    runs: int
+    simulator: str
+    rows: list[RobustnessRow] = field(default_factory=list)
+    fallbacks: tuple[FallbackEvent, ...] = ()
+
+
+def run_robustness_study(
+    scenario: "Scenario",
+    n: int = 1024,
+    p: int = 8,
+    techniques: Sequence[str] = DEFAULT_TECHNIQUES,
+    runs: int = 5,
+    simulator: str = "direct",
+    seed: int = 2013,
+    processes: int | None = None,
+) -> RobustnessResult:
+    """Mean makespan per technique, clean vs under ``scenario``."""
+    get_backend(simulator)  # fail fast on unknown backends
+    workload = ExponentialWorkload(BOLD_MU)
+    result = RobustnessResult(
+        scenario_name=scenario.name, n=n, p=p, runs=runs,
+        simulator=simulator,
+    )
+    drain_fallback_events()  # scope the log to this study
+    for technique in techniques:
+        clean_task = RunTask(
+            technique=technique,
+            params=scheduling_params(n, p),
+            workload=workload,
+            simulator=simulator,
+        )
+        perturbed_task = RunTask(
+            technique=technique,
+            params=scheduling_params(n, p),
+            workload=workload,
+            simulator=simulator,
+            scenario=scenario,
+        )
+        cell_seed = zlib.crc32(f"{seed}:{n}:{p}:{technique}".encode())
+        clean = run_replicated(
+            clean_task, runs, campaign_seed=cell_seed, processes=processes
+        )
+        perturbed = run_replicated(
+            perturbed_task, runs, campaign_seed=cell_seed,
+            processes=processes,
+        )
+        result.rows.append(RobustnessRow(
+            technique=technique,
+            clean_makespan=sum(r.makespan for r in clean) / runs,
+            perturbed_makespan=sum(r.makespan for r in perturbed) / runs,
+            lost_chunks=sum(
+                r.extras.get("lost_chunks", 0) for r in perturbed
+            ),
+            lost_tasks=sum(
+                r.extras.get("lost_tasks", 0) for r in perturbed
+            ),
+        ))
+    result.fallbacks = tuple(drain_fallback_events())
+    return result
+
+
+def robustness_report(result: RobustnessResult, width: int = 30) -> str:
+    """An ASCII robustness figure: degradation bars per technique."""
+    lines = [
+        f"robustness under scenario {result.scenario_name!r}: "
+        f"n={result.n:,}, p={result.p}, {result.runs} run(s)/cell, "
+        f"simulator={result.simulator}",
+        f"  {'technique':>10} {'clean[s]':>10} {'perturbed[s]':>13} "
+        f"{'degradation':>12}  {'lost':>5}",
+    ]
+    worst = max(
+        (abs(row.degradation_percent) for row in result.rows),
+        default=0.0,
+    )
+    for row in result.rows:
+        deg = row.degradation_percent
+        bar_len = (
+            0 if worst == 0.0
+            else max(0, round(width * abs(deg) / worst))
+        )
+        bar = ("+" if deg >= 0 else "-") * bar_len
+        lines.append(
+            f"  {row.technique:>10} {row.clean_makespan:>10.2f} "
+            f"{row.perturbed_makespan:>13.2f} {deg:>+11.1f}%  "
+            f"{row.lost_chunks:>5d} {bar}"
+        )
+    most = max(
+        result.rows, key=lambda r: r.degradation_percent, default=None
+    )
+    least = min(
+        result.rows, key=lambda r: r.degradation_percent, default=None
+    )
+    if most is not None and least is not None and most is not least:
+        lines.append(
+            f"  most robust: {least.technique} "
+            f"({least.degradation_percent:+.1f}%), least robust: "
+            f"{most.technique} ({most.degradation_percent:+.1f}%)"
+        )
+    return "\n".join(lines)

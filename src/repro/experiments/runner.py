@@ -37,7 +37,7 @@ import hashlib
 import multiprocessing
 import os
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -62,6 +62,9 @@ from ..obs.journal import RunJournal, active_journal
 from ..results import RunResult
 from ..simgrid.platform import Platform
 from ..workloads.distributions import Workload
+
+if TYPE_CHECKING:
+    from ..scenarios import Scenario
 
 __all__ = [
     "BATCH_BLOCK_RUNS",
@@ -107,6 +110,12 @@ class RunTask:
     #: chain with a recorded event.  Excluded from seed derivation, so a
     #: traced run reproduces the untraced run bit-for-bit.
     collect_chunk_log: bool = False
+    #: perturbation scenario (``repro.scenarios.Scenario``) or ``None``
+    #: for a clean system.  A set scenario enters seed derivation and
+    #: the cache key (perturbed results differ from clean ones); the
+    #: backend registry checks the fault/fluctuation capability axes and
+    #: degrades with a recorded event where a backend lacks the models.
+    scenario: "Scenario | None" = None
 
     def _platform_key(self) -> str:
         """A content-based key for the platform (stable across processes).
@@ -130,19 +139,22 @@ class RunTask:
         namespace, so the equality is visible even for single un-seeded
         tasks.
         """
-        key = "|".join(
-            (
-                self.technique,
-                repr(self.params),
-                repr(self.workload),
-                get_backend(self.simulator).entropy_namespace,
-                self.overhead_model.value,
-                self._platform_key(),
-                repr(self.speeds),
-                repr(self.start_times),
-                repr(sorted(self.technique_kwargs.items())),
-            )
-        )
+        parts = [
+            self.technique,
+            repr(self.params),
+            repr(self.workload),
+            get_backend(self.simulator).entropy_namespace,
+            self.overhead_model.value,
+            self._platform_key(),
+            repr(self.speeds),
+            repr(self.start_times),
+            repr(sorted(self.technique_kwargs.items())),
+        ]
+        # Appended only when set, so every clean task keeps its
+        # pre-scenario seed (and cache key) bit for bit.
+        if self.scenario is not None:
+            parts.append(repr(self.scenario))
+        key = "|".join(parts)
         digest = hashlib.sha256(key.encode()).digest()
         return tuple(
             int.from_bytes(digest[i:i + 4], "big") for i in range(0, 16, 4)
@@ -407,6 +419,14 @@ def _journal_task_record(
         "fast_path_runs": sum(1 for s in stats if s.fast_path),
         "seed_entropy": list(task.seed_entropy) or None,
     }
+    if task.scenario is not None:
+        record["scenario"] = task.scenario.name
+        record["lost_chunks"] = sum(
+            int(r.extras.get("lost_chunks", 0)) for r in results
+        )
+        record["lost_tasks"] = sum(
+            int(r.extras.get("lost_tasks", 0)) for r in results
+        )
     if campaign_seed is not None:
         record["campaign_seed"] = campaign_seed
     return record

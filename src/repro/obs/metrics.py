@@ -437,6 +437,17 @@ def record_results(
             events.incr(result.stats.events)
             wall.incr(result.stats.wall_time)
     runs.incr(len(results))
+    perturbed = [r for r in results if "scenario" in r.extras]
+    if perturbed:
+        registry.counter(
+            "perturbed_runs_total", "runs simulated under a scenario"
+        ).incr(len(perturbed))
+        registry.counter(
+            "lost_chunks_total", "chunks lost to fail-stop faults"
+        ).incr(sum(int(r.extras.get("lost_chunks", 0)) for r in perturbed))
+        registry.counter(
+            "lost_tasks_total", "tasks requeued after fail-stop faults"
+        ).incr(sum(int(r.extras.get("lost_tasks", 0)) for r in perturbed))
     if new_fallbacks:
         registry.counter(
             "fallbacks_total", "capability fallbacks during resolution"

@@ -149,6 +149,28 @@ def summarize_journal(
             f"est. {saved_wall_s:.2f}s of simulation saved"
         )
 
+    perturbed = [r for r in tasks if r.get("scenario")]
+    if perturbed:
+        by_scenario: dict[str, dict[str, int]] = {}
+        for record in perturbed:
+            agg = by_scenario.setdefault(
+                record["scenario"],
+                {"tasks": 0, "runs": 0, "lost_chunks": 0, "lost_tasks": 0},
+            )
+            agg["tasks"] += 1
+            agg["runs"] += record.get("runs", 0)
+            agg["lost_chunks"] += record.get("lost_chunks", 0)
+            agg["lost_tasks"] += record.get("lost_tasks", 0)
+        lines.append("")
+        lines.append("perturbation scenarios:")
+        for name in sorted(by_scenario):
+            agg = by_scenario[name]
+            lines.append(
+                f"  {name}: {agg['tasks']} task(s), {agg['runs']} run(s) "
+                f"— {agg['lost_chunks']} chunk(s) lost to faults "
+                f"({agg['lost_tasks']} task(s) requeued)"
+            )
+
     progress = [r for r in records if r.get("kind") == "progress"]
     if progress:
         last = progress[-1]

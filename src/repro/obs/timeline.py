@@ -97,12 +97,15 @@ def timeline_from_result(
 
     One :class:`TraceEvent` per executed chunk, on the track of the
     worker that ran it.  Requires a chunk log (see
-    :func:`require_chunk_log`).
+    :func:`require_chunk_log`).  Runs simulated under a perturbation
+    scenario additionally carry one instant event per declared
+    perturbation (step slowdowns, fail-stop instants) on the affected
+    worker's track, from ``extras["perturbations"]``.
     """
     require_chunk_log(result)
     if group is None:
         group = f"{result.technique} n={result.n} p={result.p}"
-    return [
+    events = [
         TraceEvent(
             name=f"chunk {ce.record.index} ({ce.record.size} tasks)",
             start=ce.start_time,
@@ -119,6 +122,21 @@ def timeline_from_result(
         )
         for ce in result.chunk_log
     ]
+    scenario = result.extras.get("scenario")
+    for label, time, worker in result.extras.get("perturbations", ()):
+        events.append(
+            TraceEvent(
+                name=label,
+                start=float(time),
+                duration=0.0,
+                group=group,
+                track=int(worker),
+                track_name=f"worker-{worker}",
+                category="perturbation",
+                args={"scenario": scenario, "worker": int(worker)},
+            )
+        )
+    return events
 
 
 def span_events(

@@ -1,0 +1,46 @@
+"""First-class perturbation scenarios (``repro.scenarios``).
+
+A :class:`Scenario` declares how a simulated machine is perturbed —
+speed waves, step slowdowns, background-load noise, fail-stop faults —
+as a frozen, hashable, serializable campaign axis.  Set it on
+:class:`~repro.experiments.runner.RunTask` (or pass ``--scenario`` on
+the CLI) and the backend registry routes it to a simulator that
+supports the requested models, recording honest fallback events where
+one does not.  See ``docs/scenarios.md``.
+"""
+
+from .descriptor import (
+    FailStopSpec,
+    LoadNoise,
+    PerturbationEvent,
+    Scenario,
+    SpeedWave,
+    StepSlowdown,
+    affected_workers,
+    load_scenario_file,
+)
+from .presets import (
+    PRESETS,
+    get_scenario,
+    load_scenario,
+    preset_notes,
+    preset_table_markdown,
+    scenario_names,
+)
+
+__all__ = [
+    "PRESETS",
+    "FailStopSpec",
+    "LoadNoise",
+    "PerturbationEvent",
+    "Scenario",
+    "SpeedWave",
+    "StepSlowdown",
+    "affected_workers",
+    "get_scenario",
+    "load_scenario",
+    "load_scenario_file",
+    "preset_notes",
+    "preset_table_markdown",
+    "scenario_names",
+]

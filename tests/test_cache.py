@@ -29,6 +29,7 @@ from repro.core.params import SchedulingParams
 from repro.experiments.runner import RunTask, run_campaign, run_replicated
 from repro.metrics.wasted_time import OverheadModel
 from repro.obs import journal_to, load_journal, metrics_to, summarize_journal
+from repro.scenarios import get_scenario
 from repro.simgrid.platform import star_platform
 from repro.workloads import ConstantWorkload, ExponentialWorkload
 
@@ -137,6 +138,9 @@ KEY_MUTATIONS = {
     # tracing populates chunk_log (a different result object), but is
     # excluded from seed derivation so traced runs stay bit-identical
     "collect_chunk_log": (True, True, False),
+    # a perturbation scenario changes both the machine and the seeds;
+    # scenario=None stays on the pre-scenario key so old entries survive
+    "scenario": (get_scenario("slow-quarter"), True, True),
 }
 
 
@@ -170,6 +174,22 @@ def test_bit_identical_backends_share_keys_but_distinct_do_not(tmp_path):
     assert cache.task_key(
         dataclasses.replace(base, simulator="direct")
     ) != cache.task_key(base)
+
+
+def test_perturbed_sweeps_cache_separately_from_clean(tmp_path):
+    clean = small_task(simulator="direct")
+    perturbed = dataclasses.replace(
+        clean, scenario=get_scenario("slow-quarter")
+    )
+    with cache_to(tmp_path / "cache") as cache:
+        baseline = run_replicated(clean, 2, campaign_seed=3, processes=1)
+        cold = run_replicated(perturbed, 2, campaign_seed=3, processes=1)
+        warm = run_replicated(perturbed, 2, campaign_seed=3, processes=1)
+    assert warm == cold
+    assert cold != baseline  # the scenario really perturbed the machine
+    assert cache.stats.misses == 2  # clean and perturbed are distinct keys
+    assert cache.stats.hits == 1
+    assert all(r.extras["scenario"] == "slow-quarter" for r in warm)
 
 
 def test_result_version_bump_invalidates_keys(tmp_path, monkeypatch):
