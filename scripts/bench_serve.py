@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Load-generate the SimAS advisor service; snapshot BENCH_PR9.json.
+
+Two measurements, both against a single in-process server on an
+ephemeral port:
+
+* **Warm-cache throughput** — a rotating set of advisor queries is
+  issued once to fill the result cache, then hammered over HTTP from
+  several client threads for a fixed window.  The committed number is
+  sustained queries/minute with every ranking served from cache (the
+  acceptance floor is 1000/min on one box).
+* **Hot-path A/B guard** — the serve layer must not have slowed the
+  simulate hot path it sits on: the PR-8 clean stepping cells (AWF-C
+  and BOLD, n=65,536, p=64, 256 reps on direct-batch) are re-timed
+  best-of-five and the percentage drift against the committed
+  ``BENCH_PR8.json`` is recorded; the budget is 2% modulo timer noise.
+
+Usage:  PYTHONPATH=src python scripts/bench_serve.py [out.json]
+            [--seconds S] [--clients N]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.cache import cache_to
+from repro.core.registry import get_technique
+from repro.directsim import BatchDirectSimulator
+from repro.experiments.bold_experiments import scheduling_params
+from repro.obs.metrics import clear_registry, set_registry
+from repro.serve import Advisor, make_server, serve_forever_in_thread
+from repro.workloads import ExponentialWorkload
+
+#: distinct advisor queries the clients rotate over (all ~20 techniques
+#: each — one query is a full what-if sweep, not a single simulation)
+QUERY_CELLS = [
+    {"n": 1024, "p": 8, "h": 0.5, "runs": 3, "seed": 11},
+    {"n": 1024, "p": 16, "h": 0.5, "runs": 3, "seed": 11},
+    {"n": 4096, "p": 8, "h": 0.5, "runs": 3, "seed": 11},
+    {"n": 4096, "p": 16, "h": 0.25, "runs": 3, "seed": 7},
+    {"n": 1024, "p": 8, "h": 0.5, "runs": 3, "seed": 11,
+     "scenario": "perturbed-deterministic", "simulator": "direct"},
+    {"n": 1024, "p": 8, "h": 0.5, "runs": 3, "seed": 11,
+     "scenario": "slow-quarter", "simulator": "direct"},
+]
+
+STEPPING_RUNS = 256
+STEPPING_CELLS = (("awf_c", "awf-c"), ("bold", "bold"))
+
+
+def _post(base: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        base + "/advise",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def bench_serve_throughput(seconds: float, clients: int) -> dict:
+    """Warm-cache advisor throughput over HTTP, multiple clients."""
+    registry = set_registry()
+    out: dict = {}
+    with tempfile.TemporaryDirectory() as cache_dir, cache_to(cache_dir):
+        advisor = Advisor()
+        server = make_server("127.0.0.1", 0, advisor)
+        serve_forever_in_thread(server)
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            # cold pass fills the cache; sanity-check the answers
+            t0 = time.perf_counter()
+            for cell in QUERY_CELLS:
+                answer = _post(base, cell)
+                assert answer["ranking"], f"empty ranking for {cell}"
+                if cell.get("scenario"):
+                    assert answer["scenario"] == cell["scenario"]
+            cold_s = time.perf_counter() - t0
+
+            # one warm lap to confirm the cache actually absorbs repeats
+            warm = _post(base, QUERY_CELLS[0])
+            assert warm["cache"]["misses"] == 0, (
+                f"repeat query missed the cache: {warm['cache']}"
+            )
+
+            totals: list[int] = []
+            stop = time.monotonic() + seconds
+            lock = threading.Lock()
+
+            def client(offset: int) -> None:
+                done = 0
+                i = offset
+                while time.monotonic() < stop:
+                    _post(base, QUERY_CELLS[i % len(QUERY_CELLS)])
+                    done += 1
+                    i += 1
+                with lock:
+                    totals.append(done)
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(clients)
+            ]
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - t0
+            queries = sum(totals)
+        finally:
+            server.shutdown()
+            server.server_close()
+
+        latency = registry.histograms["serve_request_seconds"]
+        out["serve_cold_pass_s"] = round(cold_s, 3)
+        out["serve_warm_queries"] = queries
+        out["serve_warm_window_s"] = round(elapsed, 3)
+        out["serve_warm_queries_per_minute"] = round(
+            queries * 60.0 / elapsed, 1
+        )
+        out["serve_warm_clients"] = clients
+        out["serve_latency_p50_ms"] = round(
+            latency.quantile(0.5) * 1000.0, 3
+        )
+        out["serve_latency_p95_ms"] = round(
+            latency.quantile(0.95) * 1000.0, 3
+        )
+    clear_registry()
+    return out
+
+
+def bench_hot_path_ab() -> dict:
+    """Clean stepping cells re-timed against the committed BENCH_PR8."""
+    out: dict = {}
+    params = scheduling_params(65536, 64)
+    workload = ExponentialWorkload(1.0)
+    baseline_path = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+    baseline: dict = {}
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+    for key, technique in STEPPING_CELLS:
+        factory = get_technique(technique)
+        simulator = BatchDirectSimulator(params, workload)
+        best = float("inf")
+        for _ in range(5):
+            t0 = time.perf_counter()
+            results = simulator.run_batch(factory, STEPPING_RUNS, 0)
+            best = min(best, time.perf_counter() - t0)
+            assert len(results) == STEPPING_RUNS
+        cell = f"clean_stepping_{key}_n65536_p64_{STEPPING_RUNS}reps_s"
+        out[cell] = round(best, 4)
+        base = baseline.get(cell)
+        if base:
+            out[f"clean_vs_pr8_{key}_percent"] = round(
+                100.0 * (best / base - 1.0), 2
+            )
+    return out
+
+
+def snapshot_pr9(seconds: float = 10.0, clients: int = 4) -> dict:
+    data: dict = {
+        "_meta_workload": (
+            f"{len(QUERY_CELLS)} advisor queries (full technique sweeps, "
+            "2 with scenarios) over HTTP against a warm result cache, "
+            f"{clients} client threads; plus the PR-8 clean stepping "
+            "cells re-timed as the hot-path A/B guard"
+        ),
+    }
+    data.update(bench_serve_throughput(seconds, clients))
+    data.update(bench_hot_path_ab())
+    return data
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    seconds, clients = 10.0, 4
+    paths = []
+    it = iter(args)
+    for arg in it:
+        if arg == "--seconds":
+            seconds = float(next(it))
+        elif arg == "--clients":
+            clients = int(next(it))
+        else:
+            paths.append(arg)
+    root = Path(__file__).resolve().parent.parent
+    target = Path(paths[0]) if paths else root / "BENCH_PR9.json"
+    data = snapshot_pr9(seconds=seconds, clients=clients)
+    data["_meta_python"] = platform.python_version()
+    data["_meta_machine"] = platform.machine()
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {target}")
+    for name, value in sorted(data.items()):
+        print(f"  {name}: {value}")
+
+
+if __name__ == "__main__":
+    main()

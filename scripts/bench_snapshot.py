@@ -17,7 +17,7 @@ PRs can diff wall-clock numbers without re-running the baselines:
   perturbed-cell overhead for context (BENCH_PR8.json)
 
 Usage:  PYTHONPATH=src python scripts/bench_snapshot.py
-            [--pr1|--pr2|--pr6|--pr7|--pr8] [out.json]
+            [--pr1|--pr2|--pr6|--pr7|--pr8|--pr9] [out.json]
 
 With no selector both snapshots are written to their default files.
 """
@@ -283,12 +283,21 @@ def snapshot_pr8() -> dict:
     return out
 
 
+def snapshot_pr9() -> dict:
+    """Advisor-service throughput + hot-path guard (see bench_serve.py)."""
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from bench_serve import snapshot_pr9 as run
+
+    return run()
+
+
 SNAPSHOTS = {
     "--pr1": (snapshot_pr1, "BENCH_PR1.json"),
     "--pr2": (snapshot_pr2, "BENCH_PR2.json"),
     "--pr6": (snapshot_pr6, "BENCH_PR6.json"),
     "--pr7": (snapshot_pr7, "BENCH_PR7.json"),
     "--pr8": (snapshot_pr8, "BENCH_PR8.json"),
+    "--pr9": (snapshot_pr9, "BENCH_PR9.json"),
 }
 
 
@@ -311,7 +320,7 @@ def main() -> None:
         selected = list(SNAPSHOTS)
     if paths and len(selected) != 1:
         raise SystemExit("an explicit output path needs exactly one of "
-                         "--pr1/--pr2/--pr6/--pr7/--pr8")
+                         "--pr1/--pr2/--pr6/--pr7/--pr8/--pr9")
     for flag in selected:
         fn, default_name = SNAPSHOTS[flag]
         target = Path(paths[0]) if paths else root / default_name

@@ -100,6 +100,23 @@ SCHEMA_VERSION = 1
 #: environment variable naming the default cache directory
 CACHE_ENV_VAR = "REPRO_CACHE"
 
+#: exception types unpickling a corrupt, truncated, or foreign entry is
+#: expected to raise.  Lookups and gc treat exactly these as "the entry
+#: is unreadable" (a clean miss / a discard, with a journal record and a
+#: ``cache_corrupt_entries_total`` tick); anything else — a MemoryError,
+#: a KeyboardInterrupt, a bug in a result class's ``__setstate__`` —
+#: propagates instead of being swallowed as corruption.
+UNPICKLE_ERRORS: tuple[type[BaseException], ...] = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    KeyError,
+    TypeError,
+    ValueError,
+)
+
 
 class CacheVerificationError(RuntimeError):
     """A cached result diverged from a fresh re-simulation.
@@ -120,6 +137,9 @@ class CacheStats:
     verified: int = 0
     stale: int = 0
     errors: int = 0
+    #: unreadable (corrupt/truncated/foreign) entries encountered —
+    #: served as clean misses by lookups, discarded by gc
+    corrupt: int = 0
     evictions: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
@@ -145,6 +165,7 @@ class CacheStats:
             "verified": self.verified,
             "stale": self.stale,
             "errors": self.errors,
+            "corrupt": self.corrupt,
             "evictions": self.evictions,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
@@ -159,16 +180,16 @@ class CacheStats:
             f: data.get(f, 0)
             for f in (
                 "hits", "misses", "stores", "verified", "stale", "errors",
-                "evictions", "bytes_read", "bytes_written", "saved_wall_s",
-                "lookup_s_total",
+                "corrupt", "evictions", "bytes_read", "bytes_written",
+                "saved_wall_s", "lookup_s_total",
             )
         })
 
     def merge(self, other: "CacheStats") -> None:
         for name in (
             "hits", "misses", "stores", "verified", "stale", "errors",
-            "evictions", "bytes_read", "bytes_written", "saved_wall_s",
-            "lookup_s_total",
+            "corrupt", "evictions", "bytes_read", "bytes_written",
+            "saved_wall_s", "lookup_s_total",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
@@ -302,6 +323,28 @@ class ResultCache:
                 "cache_lookup_seconds", "result-cache lookup latency"
             ).observe(seconds)
 
+    def _note_corrupt(self, key: str, where: str, reason: str) -> None:
+        """Count and journal one unreadable entry — never silently.
+
+        A corrupt entry is still served as a clean miss (lookups) or
+        discarded (gc), but every occurrence ticks the session stats,
+        the ``cache_corrupt_entries_total`` counter, and writes a
+        ``cache`` journal record, so real failures (a broken writer, a
+        result class that no longer unpickles) are visible instead of
+        masquerading as cache misses.
+        """
+        self.stats.errors += 1
+        self.stats.corrupt += 1
+        self._metrics_counter(
+            "cache_corrupt_entries_total",
+            "unreadable result-cache entries discarded",
+            1,
+        )
+        self._journal({
+            "op": "corrupt", "key": key[:16], "where": where,
+            "reason": reason,
+        })
+
     def get(self, key: str, describe: dict | None = None) -> CacheEntry | None:
         """Look up one entry; None on miss, stale schema, or corruption.
 
@@ -317,11 +360,13 @@ class ResultCache:
         except OSError:
             data = None
         if data is not None:
+            payload = None
             try:
                 payload = pickle.loads(data)
-            except Exception:
-                payload = None
-                self.stats.errors += 1
+            except UNPICKLE_ERRORS as exc:
+                self._note_corrupt(
+                    key, "get", f"{type(exc).__name__}: {exc}"
+                )
             if isinstance(payload, dict):
                 if (
                     payload.get("schema") == SCHEMA_VERSION
@@ -339,7 +384,10 @@ class ResultCache:
                 else:
                     self.stats.stale += 1
             elif payload is not None:
-                self.stats.errors += 1
+                self._note_corrupt(
+                    key, "get",
+                    f"payload is {type(payload).__name__}, not a dict",
+                )
         elapsed = time.perf_counter() - t0
         self.stats.lookup_s_total += elapsed
         self._observe_lookup(elapsed)
@@ -508,6 +556,34 @@ class ResultCache:
             shutil.rmtree(self.root / sub, ignore_errors=True)
         return removed
 
+    @staticmethod
+    def _unlink_examined(path: Path, examined: os.stat_result) -> bool:
+        """Remove ``path`` only if it is still the file version examined.
+
+        Entry writes land via ``os.replace``, so a concurrent process
+        may swap a *fresh* entry into ``path`` between gc's examination
+        and its unlink — deleting then would throw away a complete,
+        just-written entry.  Re-stat and skip when the inode, mtime, or
+        size changed; a file that vanished was already collected by a
+        concurrent gc and is not this session's removal.
+        """
+        try:
+            current = path.stat()
+            if (
+                current.st_ino,
+                current.st_mtime_ns,
+                current.st_size,
+            ) != (
+                examined.st_ino,
+                examined.st_mtime_ns,
+                examined.st_size,
+            ):
+                return False
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
     def gc(
         self,
         max_age_s: float | None = None,
@@ -515,11 +591,19 @@ class ResultCache:
     ) -> tuple[int, int]:
         """Collect garbage; returns ``(entries removed, bytes remaining)``.
 
-        Always removes unreadable entries and entries of a different
-        schema version.  ``max_age_s`` additionally drops entries whose
-        file is older; ``max_bytes`` then evicts oldest-first until the
-        store fits the budget.  Evictions are counted in the session
-        stats (and the ``cache_evictions_total`` metric).
+        Always removes unreadable entries (journaled, with a
+        ``cache_corrupt_entries_total`` tick each) and entries of a
+        different schema version.  ``max_age_s`` additionally drops
+        entries whose file is older; ``max_bytes`` then evicts
+        oldest-first until the store fits the budget.  Evictions are
+        counted in the session stats (and the ``cache_evictions_total``
+        metric).
+
+        Safe against concurrent writers and collectors sharing the
+        directory: every removal re-checks that the file is still the
+        examined version first (entries are replaced atomically, so an
+        entry rewritten mid-gc survives), and entries that vanish
+        underneath the scan are skipped, not miscounted as corrupt.
         """
         now = time.time()
         survivors: list[tuple[float, int, Path]] = []
@@ -527,35 +611,53 @@ class ResultCache:
         for path in self._object_files():
             try:
                 stat = path.stat()
+            except OSError:
+                continue  # collected by a concurrent gc — not ours
+            corrupt_reason: str | None = None
+            payload = None
+            try:
                 payload = pickle.loads(path.read_bytes())
-                ok = (
-                    isinstance(payload, dict)
-                    and payload.get("schema") == SCHEMA_VERSION
+            except FileNotFoundError:
+                continue  # vanished mid-scan, same as above
+            except OSError as exc:
+                corrupt_reason = f"unreadable: {exc}"
+            except UNPICKLE_ERRORS as exc:
+                corrupt_reason = f"{type(exc).__name__}: {exc}"
+            ok = corrupt_reason is None and (
+                isinstance(payload, dict)
+                and payload.get("schema") == SCHEMA_VERSION
+            )
+            if corrupt_reason is None and not ok:
+                corrupt_reason = (
+                    "stale schema"
+                    if isinstance(payload, dict)
+                    else f"payload is {type(payload).__name__}, not a dict"
                 )
-            except Exception:
-                ok = False
-                stat = None
-            if ok and max_age_s is not None and stat is not None:
+            if ok and max_age_s is not None:
                 ok = (now - stat.st_mtime) <= max_age_s
             if not ok:
-                try:
-                    path.unlink()
+                if self._unlink_examined(path, stat):
                     removed += 1
-                except OSError:
-                    pass
+                    if corrupt_reason is not None:
+                        self._note_corrupt(path.stem, "gc", corrupt_reason)
                 continue
             survivors.append((stat.st_mtime, stat.st_size, path))
         if max_bytes is not None:
             total = sum(size for _, size, _ in survivors)
-            for _, size, path in sorted(survivors):
+            for mtime, size, path in sorted(survivors):
                 if total <= max_bytes:
                     break
                 try:
-                    path.unlink()
+                    examined = path.stat()
+                except OSError:
+                    continue
+                # the budget pass reuses the scan's (mtime, size) order
+                # but must not evict an entry refreshed since the scan
+                if (examined.st_mtime, examined.st_size) != (mtime, size):
+                    continue
+                if self._unlink_examined(path, examined):
                     removed += 1
                     total -= size
-                except OSError:
-                    pass
         self.stats.evictions += removed
         self._metrics_counter(
             "cache_evictions_total", "result-cache entries evicted", removed
@@ -565,7 +667,9 @@ class ResultCache:
     # -- session stats ----------------------------------------------------
     def _has_activity(self) -> bool:
         s = self.stats
-        return bool(s.hits or s.misses or s.stores or s.evictions)
+        return bool(
+            s.hits or s.misses or s.stores or s.evictions or s.corrupt
+        )
 
     def flush_session(self) -> Path | None:
         """Persist this session's counters under ``<root>/sessions/``.

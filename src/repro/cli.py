@@ -12,6 +12,7 @@ Subcommands::
     repro-dls trace-export journal.jsonl --out trace.json   # Perfetto
     repro-dls cache stats ~/.repro-cache   # result-cache inspection
     repro-dls scenarios list               # perturbation-scenario presets
+    repro-dls serve --port 8787            # SimAS advisor HTTP service
 
 The ``--simulator`` choices everywhere are the registered simulation
 backends (:mod:`repro.backends`); an unknown name fails with the list of
@@ -313,6 +314,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     files.add_argument("--mean", type=float, default=1.0)
     files.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the SimAS advisor HTTP service (see docs/serve.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1; the service is unauthenticated"
+             " — do not expose it beyond trusted networks)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8787,
+        help="bind port (default 8787; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="replication process-pool size shared by all queries "
+             "(default: REPRO_WORKERS env var or CPU count)",
+    )
+    serve.add_argument(
+        "--runs", type=int, default=None, metavar="N",
+        help="default replications per candidate technique when a query "
+             "does not say (default 5)",
+    )
+    serve.add_argument(
+        "--simulator", choices=backend_names(), default="direct-batch",
+        help="default simulation backend for queries that do not name "
+             "one (default direct-batch)",
+    )
+    serve.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a JSONL journal with one `advise` record per query",
+    )
+    serve.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="additionally save the metrics registry to FILE on shutdown "
+             "(the live registry is always scrapeable at GET /metrics)",
+    )
+    _add_cache_options(serve)
 
     gantt = sub.add_parser(
         "gantt", help="render a run's chunk schedule as an ASCII Gantt chart"
@@ -678,6 +718,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         f"hit-rate {life['hit_rate_percent']:.1f}%, "
         f"est. {life['saved_wall_s']:.2f}s saved"
     )
+    if life.get("corrupt"):
+        print(
+            f"warning: {life['corrupt']} corrupt entr(ies) encountered "
+            "across sessions — see `cache` journal records (op=corrupt)"
+        )
     return 0
 
 
@@ -833,6 +878,60 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from .cache import cache_to
+    from .obs import journal_to
+    from .obs.metrics import clear_registry, set_registry
+    from .serve import Advisor, make_server
+    from .serve.advisor import DEFAULT_RUNS
+
+    cache_dir = _cache_dir_from_args(args)
+    with contextlib.ExitStack() as stack:
+        # The /metrics endpoint scrapes the active registry, so the
+        # server always installs one even without --metrics.
+        registry = set_registry()
+        stack.callback(clear_registry)
+        if args.metrics:
+            stack.callback(lambda: registry.save(args.metrics))
+        if args.trace:
+            stack.enter_context(journal_to(args.trace))
+        if cache_dir is not None:
+            stack.enter_context(
+                cache_to(cache_dir, verify_fraction=args.cache_verify)
+            )
+        advisor = Advisor(
+            processes=args.workers,
+            default_runs=args.runs or DEFAULT_RUNS,
+            default_simulator=args.simulator,
+        )
+        server = make_server(args.host, args.port, advisor)
+        host, port = server.server_address[:2]
+        print(f"repro-dls serve: advising on http://{host}:{port}")
+        print(
+            f"  POST /advise   what-if sweep over "
+            f"{len(advisor.parse({'n': 1, 'p': 1}).techniques)} techniques"
+        )
+        print("  GET  /metrics  Prometheus exposition")
+        if cache_dir is not None:
+            print(f"  result cache   {cache_dir}")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            server.server_close()
+            # terminate the worker pool now, in a normal interpreter
+            # state — leaving it to multiprocessing's atexit finalizer
+            # after a Ctrl-C produces "Exception ignored in atexit
+            # callback" noise over the clean shutdown message
+            from .experiments.runner import shutdown_pool
+
+            shutdown_pool()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -861,6 +960,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace_export(args)
     if args.command == "simulate-files":
         return _cmd_simulate_files(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "gantt":
         return _cmd_gantt(args)
     raise AssertionError(f"unhandled command {args.command!r}")

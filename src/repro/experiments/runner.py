@@ -36,6 +36,8 @@ import atexit
 import hashlib
 import multiprocessing
 import os
+import signal
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -73,6 +75,7 @@ __all__ = [
     "resolve_workers",
     "run_campaign",
     "run_replicated",
+    "run_replicated_batch",
     "shutdown_pool",
 ]
 
@@ -306,6 +309,15 @@ def resolve_workers(processes: int | None = None) -> int:
 # -- persistent worker pool ----------------------------------------------
 _POOL: multiprocessing.pool.Pool | None = None
 _POOL_SIZE: int = 0
+#: guards pool creation/teardown — the serve layer dispatches campaigns
+#: from handler threads, so two threads must never race one another into
+#: creating (or terminating) the shared pool
+_POOL_LOCK = threading.Lock()
+#: dispatches currently iterating over the pool (under _POOL_LOCK)
+_POOL_ACTIVE: int = 0
+#: True inside a pool worker process (set by the initializer); nested
+#: campaign calls there must not fork a pool-within-a-pool
+_IN_POOL_WORKER: bool = False
 
 
 def _pool_worker_init() -> None:
@@ -313,18 +325,60 @@ def _pool_worker_init() -> None:
 
     Cache traffic is a parent-process concern (lookups partition the
     work before pooling; stores happen after results return), so a
-    forked worker must not repeat lookups or flush session stats.
+    forked worker must not repeat lookups or flush session stats.  The
+    worker is also marked as such, so any campaign entry point reached
+    from inside a simulated task degrades to the serial loop instead of
+    trying to fork a nested pool (daemonic pool workers cannot have
+    children — without the guard that is a crash deep in
+    ``multiprocessing``).
     """
+    global _IN_POOL_WORKER
+
     from ..cache import deactivate_in_worker
 
     deactivate_in_worker()
+    _IN_POOL_WORKER = True
+    # a terminal Ctrl-C is the parent's to handle: it drains or
+    # terminates the pool deliberately, so workers must not die mid-task
+    # with their own KeyboardInterrupt tracebacks (the long-running
+    # serve process makes this the *normal* shutdown path)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def in_pool_worker() -> bool:
+    """True when the calling process is one of the shared pool's workers."""
+    return _IN_POOL_WORKER
+
+
+def _usable_workers(processes: int | None) -> int:
+    """The parallelism execution may actually use.
+
+    Inside a pool worker the answer is always 1 — a nested campaign
+    call runs serially in-process rather than forking a pool inside
+    the pool.
+    """
+    if _IN_POOL_WORKER:
+        return 1
+    return resolve_workers(processes)
 
 
 def _get_pool(processes: int) -> multiprocessing.pool.Pool:
-    """The shared pool, (re)created only when the size changes."""
+    """The shared pool, (re)created only when the size changes.
+
+    Caller must hold ``_POOL_LOCK``.  While another thread is actively
+    dispatching over the pool (``_POOL_ACTIVE > 0``) a differing size
+    request reuses the existing pool instead of terminating it out from
+    under the other thread — concurrent advisor queries share one pool,
+    whatever sizes they ask for.
+    """
     global _POOL, _POOL_SIZE
-    if _POOL is not None and _POOL_SIZE != processes:
-        shutdown_pool()
+    if _IN_POOL_WORKER:
+        raise RuntimeError(
+            "cannot create the shared process pool inside one of its own "
+            "workers — nested campaign calls must run serially"
+        )
+    if _POOL is not None and _POOL_SIZE != processes and _POOL_ACTIVE == 0:
+        _shutdown_pool_locked()
     if _POOL is None:
         _POOL = multiprocessing.Pool(
             processes=processes, initializer=_pool_worker_init
@@ -333,14 +387,19 @@ def _get_pool(processes: int) -> multiprocessing.pool.Pool:
     return _POOL
 
 
-def shutdown_pool() -> None:
-    """Terminate the persistent pool (tests; end of process via atexit)."""
+def _shutdown_pool_locked() -> None:
     global _POOL, _POOL_SIZE
     if _POOL is not None:
         _POOL.terminate()
         _POOL.join()
         _POOL = None
         _POOL_SIZE = 0
+
+
+def shutdown_pool() -> None:
+    """Terminate the persistent pool (tests; end of process via atexit)."""
+    with _POOL_LOCK:
+        _shutdown_pool_locked()
 
 
 atexit.register(shutdown_pool)
@@ -362,15 +421,22 @@ def _run_pooled(items: Sequence[RunTask | ReplicationBlock],
                 processes: int,
                 tracker: obs_progress.ProgressTracker | None = None) -> list:
     """Execute items (in order) over the persistent pool."""
-    pool = _get_pool(processes)
-    chunksize = max(1, len(items) // (processes * 4))
-    out: list = [None] * len(items)
-    for index, result in pool.imap_unordered(
-        _execute_indexed, list(enumerate(items)), chunksize=chunksize
-    ):
-        out[index] = result
-        _advance_progress(tracker, result)
-    return out
+    global _POOL_ACTIVE
+    with _POOL_LOCK:
+        pool = _get_pool(processes)
+        _POOL_ACTIVE += 1
+    try:
+        chunksize = max(1, len(items) // (processes * 4))
+        out: list = [None] * len(items)
+        for index, result in pool.imap_unordered(
+            _execute_indexed, list(enumerate(items)), chunksize=chunksize
+        ):
+            out[index] = result
+            _advance_progress(tracker, result)
+        return out
+    finally:
+        with _POOL_LOCK:
+            _POOL_ACTIVE -= 1
 
 
 def expand_replications(task: RunTask, runs: int,
@@ -450,7 +516,7 @@ def _execute_tasks(
     """Resolve every task in the parent, then execute (pooled or serial)."""
     for task in tasks:
         resolve_backend(task)
-    processes = resolve_workers(processes)
+    processes = _usable_workers(processes)
     if processes <= 1 or len(tasks) <= 1:
         results = []
         for task in tasks:
@@ -638,7 +704,7 @@ def _run_replicated_fresh(
     ):
         blocks = backend.replication_blocks(task, runs, campaign_seed)
         if blocks is not None:
-            processes = resolve_workers(processes)
+            processes = _usable_workers(processes)
             if processes <= 1 or len(blocks) <= 1:
                 block_results = []
                 for block in blocks:
@@ -662,4 +728,127 @@ def _run_replicated_fresh(
         journal.write(
             _journal_task_record(task, results, campaign_seed=campaign_seed)
         )
+    return results
+
+
+def run_replicated_batch(
+    sweeps: Sequence[tuple[RunTask, int, int | None]],
+    processes: int | None = None,
+    label: str = "batch",
+) -> list[list[RunResult]]:
+    """Execute many replication sweeps with *one* pooled dispatch.
+
+    ``sweeps`` is a sequence of ``(task, runs, campaign_seed)`` triples
+    — e.g. every candidate technique of one advisor query, or the
+    union of several concurrent queries.  Each sweep is bit-identical
+    to :func:`run_replicated` on the same triple (same cache keys, same
+    seeds, same block partitioning), but the execution items of *all*
+    cache misses — replication blocks for pooled-block backends,
+    expanded per-run tasks otherwise — fan out over the shared process
+    pool in a single ``imap`` pass, amortising pool dispatch across
+    the whole batch instead of paying one round-trip per sweep.
+
+    Cache, journal and metrics semantics match ``run_replicated``
+    sweep-for-sweep: one sweep cache entry per miss (hits replay their
+    stored fallback events), one journal ``task`` record per freshly
+    simulated sweep, fresh results folded into the active metrics
+    registry.
+    """
+    journal = active_journal()
+    cache = active_cache()
+    fallbacks_before = len(peek_fallback_events())
+    results: list[list[RunResult] | None] = [None] * len(sweeps)
+    misses: list[int] = []
+    for index, (task, runs, campaign_seed) in enumerate(sweeps):
+        if runs < 1:
+            raise ValueError("runs must be >= 1")
+        if cache is None:
+            misses.append(index)
+            continue
+        key = cache.sweep_key(task, runs, campaign_seed)
+        describe = _cache_describe(task, runs, campaign_seed)
+        entry = cache.get(key, describe=describe)
+        if entry is None:
+            misses.append(index)
+            continue
+        cache.maybe_verify(
+            key,
+            entry,
+            lambda task=task, runs=runs, seed=campaign_seed: _fresh_sweep(
+                task, runs, seed, processes
+            ),
+            describe=describe,
+        )
+        _replay_entry_fallbacks(entry)
+        results[index] = list(entry.results)
+    # Per-sweep items stay contiguous and ordered, and _run_pooled
+    # returns results in item order, so regrouping below reproduces the
+    # serial run_replicated ordering bit for bit.
+    items: list[RunTask | ReplicationBlock] = []
+    owners: list[tuple[int, bool]] = []  # (sweep index, item is a block)
+    for index in misses:
+        task, runs, campaign_seed = sweeps[index]
+        backend = resolve_backend(task)
+        blocks = backend.replication_blocks(task, runs, campaign_seed)
+        if blocks is not None:
+            items.extend(blocks)
+            owners.extend((index, True) for _ in blocks)
+        else:
+            expanded = expand_replications(task, runs, campaign_seed)
+            items.extend(expanded)
+            owners.extend((index, False) for _ in expanded)
+    total_runs = sum(sweeps[index][1] for index in misses)
+    tracker = obs_progress.campaign_tracker(
+        total=total_runs, label=f"{label} x{len(misses)}", journal=journal,
+        fallback_baseline=fallbacks_before,
+    ) if items else None
+    with obs_core.span(
+        "run_replicated_batch", sweeps=len(sweeps), items=len(items)
+    ):
+        with cache_suspended():
+            workers = _usable_workers(processes)
+            if workers <= 1 or len(items) <= 1:
+                outputs: list = []
+                for item in items:
+                    output = item.execute()
+                    outputs.append(output)
+                    _advance_progress(tracker, output)
+            else:
+                outputs = _run_pooled(items, workers, tracker)
+    if tracker is not None:
+        tracker.finish()
+    fresh_groups: dict[int, list[RunResult]] = {i: [] for i in misses}
+    for (index, is_block), output in zip(owners, outputs):
+        if is_block:
+            fresh_groups[index].extend(output)
+        else:
+            fresh_groups[index].append(output)
+    all_fresh: list[RunResult] = []
+    for index in misses:
+        group = fresh_groups[index]
+        results[index] = group
+        all_fresh.extend(group)
+        if cache is not None:
+            task, runs, campaign_seed = sweeps[index]
+            backend_name = next(
+                (r.stats.backend for r in group if r.stats is not None), ""
+            )
+            cache.put(
+                cache.sweep_key(task, runs, campaign_seed),
+                group,
+                kind="sweep",
+                describe=_cache_describe(task, runs, campaign_seed),
+                wall_time_s=_stats_wall(group),
+                backend=backend_name,
+                fallbacks=_task_fallbacks(task),
+                platform=task.platform,
+            )
+    _record_campaign_metrics(all_fresh, fallbacks_before)
+    if journal is not None:
+        _journal_new_fallbacks(journal, fallbacks_before)
+        for index in misses:
+            task, runs, campaign_seed = sweeps[index]
+            journal.write(_journal_task_record(
+                task, results[index], campaign_seed=campaign_seed
+            ))
     return results

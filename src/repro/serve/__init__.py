@@ -1,0 +1,30 @@
+"""The SimAS online scheduling advisor service (``repro-dls serve``).
+
+POST a workload/platform/scenario description and get back a ranking of
+every registered DLS technique by simulated makespan — the online
+technique-selection loop the paper's portability findings call for.
+See :mod:`repro.serve.advisor` for the ranking engine and
+:mod:`repro.serve.http` for the stdlib HTTP front-end.
+"""
+
+from .advisor import (
+    AdviseRequest,
+    AdviseResponse,
+    AdviseValidationError,
+    Advisor,
+    RankedTechnique,
+    SweepBatcher,
+)
+from .http import AdvisorHTTPServer, make_server, serve_forever_in_thread
+
+__all__ = [
+    "AdviseRequest",
+    "AdviseResponse",
+    "AdviseValidationError",
+    "Advisor",
+    "AdvisorHTTPServer",
+    "RankedTechnique",
+    "SweepBatcher",
+    "make_server",
+    "serve_forever_in_thread",
+]

@@ -14,6 +14,7 @@ import dataclasses
 import json
 import multiprocessing
 import pickle
+from pathlib import Path
 
 import pytest
 
@@ -532,3 +533,207 @@ def test_cli_cache_verify_catches_poison(tmp_path, capsys):
     objects[0].write_bytes(pickle.dumps(payload))
     with pytest.raises(CacheVerificationError):
         main(args + ["--cache-verify", "1.0"])
+
+
+# -- corruption signals ----------------------------------------------------
+def _hex_key(label: str) -> str:
+    import hashlib
+
+    return hashlib.sha256(label.encode()).hexdigest()
+
+
+def test_corrupt_entry_is_a_counted_signalled_miss(tmp_path):
+    """An unreadable entry is a clean miss, but never a silent one."""
+    root = tmp_path / "cache"
+    journal = tmp_path / "journal.jsonl"
+    cache = ResultCache(root)
+    key = _hex_key("victim")
+    cache.put(key, [1, 2, 3])
+    cache._object_path(key).write_bytes(b"not a pickle")
+    with journal_to(journal), metrics_to() as registry:
+        assert cache.get(key) is None
+    assert cache.stats.misses == 1
+    assert cache.stats.corrupt == 1
+    assert cache.stats.errors == 1
+    assert registry.counters["cache_corrupt_entries_total"].value == 1
+    records = [r for r in load_journal(journal)
+               if r["kind"] == "cache" and r["op"] == "corrupt"]
+    assert len(records) == 1
+    assert records[0]["where"] == "get"
+    assert records[0]["key"] == key[:16]
+    # truncation mid-write cannot happen (atomic replace) but a torn
+    # file on disk must behave the same way
+    cache.put(key, [1, 2, 3])
+    data = cache._object_path(key).read_bytes()
+    cache._object_path(key).write_bytes(data[: len(data) // 2])
+    assert cache.get(key) is None
+    assert cache.stats.corrupt == 2
+
+
+def test_corrupt_stats_survive_session_merge(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = _hex_key("victim")
+    cache.put(key, [1])
+    cache._object_path(key).write_bytes(b"garbage")
+    assert cache.get(key) is None
+    cache.flush_session()
+    summary = ResultCache(tmp_path / "cache").describe_store()
+    assert summary["lifetime"]["corrupt"] == 1
+
+
+def test_gc_removes_corrupt_entry_with_signal(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    good, bad = _hex_key("good"), _hex_key("bad")
+    cache.put(good, [1])
+    cache.put(bad, [2])
+    cache._object_path(bad).write_bytes(b"garbage")
+    with metrics_to() as registry:
+        removed, _ = cache.gc()
+    assert removed == 1
+    assert cache.stats.corrupt == 1
+    assert registry.counters["cache_corrupt_entries_total"].value == 1
+    assert cache.get(good) is not None
+    assert not cache._object_path(bad).exists()
+
+
+# -- gc vs concurrent writers ----------------------------------------------
+def test_gc_spares_entry_rewritten_between_examine_and_unlink(
+    tmp_path, monkeypatch
+):
+    """The age pass must not delete an entry another process just
+    replaced: the unlink re-checks the examined file version first."""
+    import os as _os
+    import time as _time
+
+    cache = ResultCache(tmp_path / "cache")
+    key = _hex_key("hot")
+    cache.put(key, ["old"])
+    path = cache._object_path(key)
+    aged = _time.time() - 3600
+    _os.utime(path, (aged, aged))
+
+    writer = ResultCache(tmp_path / "cache")
+    real_unlink = ResultCache._unlink_examined
+
+    def rewrite_then_unlink(p, examined):
+        # a concurrent campaign swaps a fresh entry in at the worst
+        # possible moment — right between gc's examination and unlink
+        writer.put(key, ["fresh"])
+        return real_unlink(p, examined)
+
+    monkeypatch.setattr(
+        ResultCache, "_unlink_examined", staticmethod(rewrite_then_unlink)
+    )
+    removed, _ = cache.gc(max_age_s=60.0)
+    assert removed == 0
+    entry = cache.get(key)
+    assert entry is not None and entry.results == ["fresh"]
+
+
+def test_gc_budget_pass_spares_refreshed_entries(tmp_path, monkeypatch):
+    """max_bytes eviction re-checks too: an entry rewritten since the
+    scan is no longer the oldest and must survive the sweep."""
+    cache = ResultCache(tmp_path / "cache")
+    key = _hex_key("hot")
+    cache.put(key, ["old"])
+
+    writer = ResultCache(tmp_path / "cache")
+    real_unlink = ResultCache._unlink_examined
+
+    def rewrite_then_unlink(p, examined):
+        writer.put(key, ["fresher"])
+        return real_unlink(p, examined)
+
+    monkeypatch.setattr(
+        ResultCache, "_unlink_examined", staticmethod(rewrite_then_unlink)
+    )
+    removed, _ = cache.gc(max_bytes=0)
+    assert removed == 0
+    entry = cache.get(key)
+    assert entry is not None and entry.results == ["fresher"]
+
+
+def test_gc_vanished_entries_are_not_counted_corrupt(tmp_path, monkeypatch):
+    """Entries a concurrent gc already collected are skipped silently."""
+    cache = ResultCache(tmp_path / "cache")
+    key = _hex_key("gone")
+    cache.put(key, [1])
+    path = cache._object_path(key)
+    original_read_bytes = Path.read_bytes
+
+    def unlink_then_read(self):
+        if self == path:
+            self.unlink(missing_ok=True)
+        return original_read_bytes(self)
+
+    monkeypatch.setattr(Path, "read_bytes", unlink_then_read)
+    removed, _ = cache.gc()
+    assert removed == 0
+    assert cache.stats.corrupt == 0
+
+
+def _gc_stress_writer(root, rounds, queue):
+    """Rewrites hot keys while a sibling process garbage-collects."""
+    import time as _time
+
+    from repro.cache import ResultCache
+
+    cache = ResultCache(root)
+    keys = [_hex_key(f"hot{i}") for i in range(4)]
+    lost = []
+    for round_no in range(rounds):
+        for i, key in enumerate(keys):
+            stamp = [round_no, i]
+            cache.put(key, stamp)
+            entry = cache.get(key)
+            if entry is None or entry.results != stamp:
+                lost.append((round_no, i))
+        _time.sleep(0.15)
+    queue.put(("writer", lost, cache.stats.corrupt))
+
+
+def _gc_stress_collector(root, duration_s, queue):
+    """Loops age-based gc against the writer's directory."""
+    import time as _time
+
+    from repro.cache import ResultCache
+
+    cache = ResultCache(root)
+    deadline = _time.monotonic() + duration_s
+    sweeps = 0
+    while _time.monotonic() < deadline:
+        cache.gc(max_age_s=0.1)
+        sweeps += 1
+    queue.put(("collector", sweeps, cache.stats.corrupt))
+
+
+def test_concurrent_gc_never_loses_fresh_entries(tmp_path):
+    """Two processes — one rewriting entries, one gc-ing aggressively —
+    must never lose a just-written entry or misread a half-written one
+    (regression for the examine/unlink race in ``ResultCache.gc``)."""
+    root = str(tmp_path / "cache")
+    rounds = 8
+    ctx = multiprocessing.get_context()
+    queue = ctx.Queue()
+    writer = ctx.Process(
+        target=_gc_stress_writer, args=(root, rounds, queue)
+    )
+    collector = ctx.Process(
+        target=_gc_stress_collector, args=(root, rounds * 0.15 + 1.0, queue)
+    )
+    writer.start()
+    collector.start()
+    outputs = dict()
+    for _ in range(2):
+        role, detail, corrupt = queue.get(timeout=120)
+        outputs[role] = (detail, corrupt)
+    writer.join(timeout=120)
+    collector.join(timeout=120)
+    assert writer.exitcode == 0
+    assert collector.exitcode == 0
+    lost, writer_corrupt = outputs["writer"]
+    assert lost == []          # gc never deleted a just-written entry
+    assert writer_corrupt == 0  # atomic writes: no torn reads either
+    sweeps, collector_corrupt = outputs["collector"]
+    assert sweeps > 0
+    assert collector_corrupt == 0

@@ -156,3 +156,132 @@ class TestPooledReplicateMsg:
             r.makespan
             for r in replicate_msg(sim, factory, 9, seed=5, processes=1)
         ]
+
+
+class TestSharedPoolSafety:
+    """The serve path dispatches campaigns from many threads at once and
+    simulated tasks may re-enter the runner from inside a worker; both
+    must share (or avoid) the one persistent pool."""
+
+    def test_usable_workers_inside_pool_worker_is_one(self, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.setattr(runner, "_IN_POOL_WORKER", True)
+        assert runner._usable_workers(8) == 1
+        assert runner._usable_workers(None) == 1
+        assert runner.in_pool_worker()
+
+    def test_get_pool_refuses_nested_creation(self, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.setattr(runner, "_IN_POOL_WORKER", True)
+        with pytest.raises(RuntimeError, match="nested"):
+            with runner._POOL_LOCK:
+                runner._get_pool(2)
+
+    def test_nested_campaign_call_degrades_to_serial(self, monkeypatch):
+        """run_replicated(processes=4) inside a pool worker must run the
+        serial path — and produce the identical results."""
+        from repro.experiments import runner
+
+        reference = run_replicated(make_task(), 3, campaign_seed=21,
+                                   processes=1)
+        monkeypatch.setattr(runner, "_IN_POOL_WORKER", True)
+        nested = run_replicated(make_task(), 3, campaign_seed=21,
+                                processes=4)
+        assert [r.makespan for r in nested] == [
+            r.makespan for r in reference
+        ]
+
+    def test_concurrent_threads_share_one_pool(self):
+        import threading
+
+        from repro.experiments import runner
+
+        # warm the pool so every thread finds one to share
+        run_replicated(make_task(), 2, campaign_seed=1, processes=2)
+        with runner._POOL_LOCK:
+            pool_id = id(runner._POOL)
+        results: dict[int, list] = {}
+        errors: list[BaseException] = []
+
+        def campaign(seed):
+            try:
+                results[seed] = run_replicated(
+                    make_task(), 2, campaign_seed=seed, processes=2
+                )
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=campaign, args=(seed,))
+            for seed in (31, 32, 33, 34)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        with runner._POOL_LOCK:
+            assert id(runner._POOL) == pool_id  # nobody re-forked it
+        for seed, got in results.items():
+            expected = run_replicated(
+                make_task(), 2, campaign_seed=seed, processes=1
+            )
+            assert [r.makespan for r in got] == [
+                r.makespan for r in expected
+            ]
+
+    def test_differing_size_request_does_not_kill_busy_pool(self):
+        from repro.experiments import runner
+
+        run_replicated(make_task(), 2, campaign_seed=1, processes=2)
+        with runner._POOL_LOCK:
+            pool_id = id(runner._POOL)
+            runner._POOL_ACTIVE += 1  # another thread mid-dispatch
+            try:
+                pool = runner._get_pool(3)  # differing size must reuse
+                assert id(pool) == pool_id
+            finally:
+                runner._POOL_ACTIVE -= 1
+        with runner._POOL_LOCK:
+            pool = runner._get_pool(3)  # idle now: resize allowed
+            assert id(pool) != pool_id
+        runner.shutdown_pool()
+
+
+class TestRunReplicatedBatch:
+    def test_matches_per_sweep_run_replicated(self):
+        from repro.experiments.runner import run_replicated_batch
+
+        sweeps = [
+            (make_task(), 3, 41),
+            (make_msg_task("msg-fast"), 2, 42),
+            (make_msg_task("msg", "gss"), 2, 43),
+        ]
+        batched = run_replicated_batch(sweeps, processes=2)
+        assert len(batched) == 3
+        for (task, runs, seed), group in zip(sweeps, batched):
+            expected = run_replicated(task, runs, campaign_seed=seed,
+                                      processes=1)
+            assert group == expected
+
+    def test_serves_and_fills_the_cache(self, tmp_path):
+        from repro.cache import cache_to
+        from repro.experiments.runner import run_replicated_batch
+
+        sweeps = [(make_task(), 2, 51), (make_msg_task("direct", "gss"), 2, 52)]
+        with cache_to(tmp_path / "cache") as cache:
+            # pre-warm one sweep through the serial entry point
+            run_replicated(make_task(), 2, campaign_seed=51, processes=1)
+            first = run_replicated_batch(sweeps, processes=2)
+            assert cache.stats.hits == 1     # the pre-warmed sweep
+            assert cache.stats.misses == 2   # warm-up plus one cold sweep
+            second = run_replicated_batch(sweeps, processes=2)
+            assert cache.stats.hits == 3
+        assert first == second
+
+    def test_empty_batch(self):
+        from repro.experiments.runner import run_replicated_batch
+
+        assert run_replicated_batch([]) == []
