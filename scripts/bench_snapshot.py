@@ -15,9 +15,12 @@ PRs can diff wall-clock numbers without re-running the baselines:
 * ``--pr8`` — scenario-axis no-op guard: the clean (scenario=None)
   stepping cells re-timed against the committed PR-7 numbers, plus the
   perturbed-cell overhead for context (BENCH_PR8.json)
+* ``--pr10`` — cold vs warm ``figures --quick`` artifact pipeline plus
+  the stepping cells re-timed against the committed PR-9 numbers
+  (BENCH_PR10.json)
 
 Usage:  PYTHONPATH=src python scripts/bench_snapshot.py
-            [--pr1|--pr2|--pr6|--pr7|--pr8|--pr9] [out.json]
+            [--pr1|--pr2|--pr6|--pr7|--pr8|--pr9|--pr10] [out.json]
 
 With no selector both snapshots are written to their default files.
 """
@@ -291,6 +294,80 @@ def snapshot_pr9() -> dict:
     return run()
 
 
+def snapshot_pr10() -> dict:
+    """Cold vs warm ``figures --quick`` plus the stepping hot-path guard.
+
+    The artifact-pipeline PR's acceptance benchmark: the whole quick
+    registry generated cold against a throwaway cache, then regenerated
+    warm — the warm pass must be served almost entirely from the cache
+    (hit rate above 95%, wall time an order of magnitude down).  The
+    PR-7 stepping cells are re-timed (best of three) against the
+    committed ``BENCH_PR9.json`` clean numbers to guard the simulator
+    hot path against regressions from the pipeline plumbing.
+    """
+    import tempfile
+
+    from repro.cache import cache_to
+    from repro.figures import generate_artifacts
+
+    out: dict = {
+        "_meta_workload": (
+            "figures --quick (14 artifacts) cold vs fully cached re-run; "
+            f"stepping cells (n=65536, p=64, {STEPPING_RUNS} reps) "
+            "vs committed PR-9 clean numbers"
+        ),
+    }
+    with tempfile.TemporaryDirectory() as root:
+        cache_dir = str(Path(root) / "cache")
+        with cache_to(cache_dir) as cache:
+            t0 = time.perf_counter()
+            cold_run = generate_artifacts(Path(root) / "cold", mode="quick")
+            cold = time.perf_counter() - t0
+            cold_hits = cache.stats.hits
+
+            t0 = time.perf_counter()
+            warm_run = generate_artifacts(Path(root) / "warm", mode="quick")
+            warm = time.perf_counter() - t0
+        assert cold_run.files == warm_run.files, (
+            "warm figures run emitted different data files than cold"
+        )
+        lookups = warm_run.cache["hits"] + warm_run.cache["misses"]
+        warm_hit_rate = 100.0 * warm_run.cache["hits"] / lookups
+        assert warm_hit_rate > 95.0, (
+            f"warm figures run not cache-dominated: {warm_hit_rate:.1f}% "
+            f"hit rate ({warm_run.cache})"
+        )
+        assert cold_hits <= warm_run.cache["hits"], "cold run odd hit count"
+    out["cold_quick_figures_s"] = round(cold, 3)
+    out["warm_quick_figures_s"] = round(warm, 3)
+    out["warm_speedup"] = round(cold / warm, 1)
+    out["warm_cache_hit_rate_percent"] = round(warm_hit_rate, 1)
+
+    baseline_path = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+    baseline: dict = {}
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+    params = scheduling_params(65536, 64)
+    workload = ExponentialWorkload(1.0)
+    for key, technique, _ in STEPPING_CELLS:
+        factory = get_technique(technique)
+        sim = BatchDirectSimulator(params, workload)
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            results = sim.run_batch(factory, STEPPING_RUNS, 0)
+            best = min(best, time.perf_counter() - t0)
+            assert len(results) == STEPPING_RUNS
+        cell = f"clean_stepping_{key}_n65536_p64_{STEPPING_RUNS}reps_s"
+        out[cell] = round(best, 4)
+        base = baseline.get(cell)
+        if base:
+            out[f"clean_vs_pr9_{key}_percent"] = round(
+                100.0 * (best / base - 1.0), 2
+            )
+    return out
+
+
 SNAPSHOTS = {
     "--pr1": (snapshot_pr1, "BENCH_PR1.json"),
     "--pr2": (snapshot_pr2, "BENCH_PR2.json"),
@@ -298,6 +375,7 @@ SNAPSHOTS = {
     "--pr7": (snapshot_pr7, "BENCH_PR7.json"),
     "--pr8": (snapshot_pr8, "BENCH_PR8.json"),
     "--pr9": (snapshot_pr9, "BENCH_PR9.json"),
+    "--pr10": (snapshot_pr10, "BENCH_PR10.json"),
 }
 
 
@@ -320,7 +398,7 @@ def main() -> None:
         selected = list(SNAPSHOTS)
     if paths and len(selected) != 1:
         raise SystemExit("an explicit output path needs exactly one of "
-                         "--pr1/--pr2/--pr6/--pr7/--pr8/--pr9")
+                         "--pr1/--pr2/--pr6/--pr7/--pr8/--pr9/--pr10")
     for flag in selected:
         fn, default_name = SNAPSHOTS[flag]
         target = Path(paths[0]) if paths else root / default_name

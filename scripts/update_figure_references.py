@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Regenerate the committed figure references for ``figures --check``.
+
+Runs the quick artifact pipeline and installs each artifact's CSV and
+provenance manifest under ``src/repro/experiments/data/figures/`` — the
+tree ``repro-dls figures --check`` (and the CI figures-smoke job) diffs
+against.  Run this after an intentional change to the simulators, the
+techniques, or the registry's quick parameters, and commit the result
+together with the change that moved the numbers:
+
+    PYTHONPATH=src python scripts/update_figure_references.py
+
+Text renderings, plots and the run manifest are deliberately not
+committed: the CSV pins the numbers and the manifest pins the
+provenance; everything else is regenerable output.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.figures import generate_artifacts  # noqa: E402
+from repro.figures.drift import default_reference_dir  # noqa: E402
+
+
+def main() -> int:
+    reference = default_reference_dir()
+    reference.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(prefix="repro-figrefs-") as tmp:
+        run = generate_artifacts(tmp, mode="quick", plot=False, echo=print)
+        installed = 0
+        for artifact in run.artifacts:
+            for name in (f"{artifact}.csv", f"{artifact}.manifest.json"):
+                shutil.copyfile(Path(tmp) / name, reference / name)
+                installed += 1
+    print(f"\ninstalled {installed} reference file(s) -> {reference}")
+    stray = sorted(
+        p.name for p in reference.iterdir()
+        if p.name not in {
+            f"{a}.{ext}" for a in run.artifacts
+            for ext in ("csv", "manifest.json")
+        }
+    )
+    if stray:
+        print(f"stray files not owned by the registry: {', '.join(stray)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

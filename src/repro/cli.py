@@ -13,6 +13,7 @@ Subcommands::
     repro-dls cache stats ~/.repro-cache   # result-cache inspection
     repro-dls scenarios list               # perturbation-scenario presets
     repro-dls serve --port 8787            # SimAS advisor HTTP service
+    repro-dls figures --quick --check      # artifact pipeline + drift check
 
 The ``--simulator`` choices everywhere are the registered simulation
 backends (:mod:`repro.backends`); an unknown name fails with the list of
@@ -221,6 +222,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_option(campaign)
     _add_cache_options(campaign)
+
+    figures = sub.add_parser(
+        "figures",
+        help="regenerate every figure/table with provenance manifests "
+             "(see docs/reproducing.md)",
+    )
+    figures.add_argument(
+        "--out", metavar="DIR", default="artifacts",
+        help="output directory for CSVs, plots and manifests "
+             "(default: ./artifacts)",
+    )
+    figures.add_argument(
+        "--quick", action="store_true",
+        help="reduced sweeps on the fast bit-identical backends "
+             "(the variant the committed references pin down)",
+    )
+    figures.add_argument(
+        "--check", action="store_true",
+        help="after generating, diff CSVs and manifests against the "
+             "committed references (exit 1 on drift; implies --quick)",
+    )
+    figures.add_argument(
+        "--only", metavar="ID", action="append", default=None,
+        help="restrict to one artifact id (repeatable; see the registry "
+             "ids in docs/reproducing.md)",
+    )
+    figures.add_argument(
+        "--reference", metavar="DIR", default=None,
+        help="check against this reference tree instead of the "
+             "committed one",
+    )
+    figures.add_argument(
+        "--tolerance", type=float, default=1e-6, metavar="PERCENT",
+        help="numeric drift tolerance for --check, in percent "
+             "(default: effectively exact — quick runs are seeded)",
+    )
+    figures.add_argument(
+        "--no-plot", action="store_true",
+        help="skip plot rendering even when matplotlib is available",
+    )
+    figures.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a JSONL run journal to FILE (see `repro-dls stats`)",
+    )
+    figures.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="export pipeline metrics to FILE (.prom/.txt: Prometheus "
+             "text exposition, otherwise JSON)",
+    )
+    _add_cache_options(figures)
 
     cache = sub.add_parser(
         "cache",
@@ -646,6 +697,74 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from .cache import cache_to
+    from .figures import (
+        check_against_reference,
+        generate_artifacts,
+        get_artifact,
+        plot_available,
+    )
+    from .obs import journal_to, metrics_to
+
+    mode = "quick" if (args.quick or args.check) else "full"
+    if args.only:
+        try:
+            for artifact_id in args.only:
+                get_artifact(artifact_id)
+        except ValueError as exc:
+            print(f"figures: {exc}", file=sys.stderr)
+            return 2
+    cache_dir = _cache_dir_from_args(args)
+    with contextlib.ExitStack() as stack:
+        if cache_dir is not None:
+            stack.enter_context(
+                cache_to(cache_dir, verify_fraction=args.cache_verify)
+            )
+        if args.trace:
+            stack.enter_context(journal_to(args.trace))
+        if args.metrics:
+            stack.enter_context(metrics_to(args.metrics))
+        run = generate_artifacts(
+            args.out, mode=mode, only=args.only,
+            plot=not args.no_plot, echo=print,
+        )
+    plot_note = (
+        "png" if (plot_available() and not args.no_plot)
+        else "text (matplotlib not installed)" if not args.no_plot
+        else "disabled"
+    )
+    print(
+        f"\n{len(run.artifacts)} artifact(s) -> {args.out} "
+        f"in {run.elapsed_s:.1f}s (mode={mode}, plots={plot_note})"
+    )
+    if run.cache:
+        print(
+            f"cache: {run.cache['hits']} hit(s), "
+            f"{run.cache['misses']} miss(es), "
+            f"{run.cache['corrupt']} corrupt"
+        )
+    if run.fallbacks:
+        print(f"backend fallbacks: {run.fallbacks} (see the manifests)")
+    if args.trace:
+        print(f"wrote journal {args.trace}")
+    if args.metrics:
+        print(f"wrote metrics {args.metrics}")
+    if not args.check:
+        return 0
+    report = check_against_reference(
+        args.out,
+        reference_dir=args.reference,
+        artifacts=args.only,
+        tolerance_percent=args.tolerance,
+    )
+    print()
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def _format_bytes(count: float) -> str:
     for unit in ("B", "KiB", "MiB", "GiB"):
         if count < 1024 or unit == "GiB":
@@ -950,6 +1069,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_recommend(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "figures":
+        return _cmd_figures(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "scenarios":

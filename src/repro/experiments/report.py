@@ -60,14 +60,36 @@ def write_csv(
     path: str | Path,
     series: Mapping[str, Sequence[float]],
     keys: Sequence,
-    key_header: str = "pes",
+    key_header: str = "technique",
 ) -> None:
-    """Write a figure's series to CSV (one row per technique)."""
+    """Write a figure's series to CSV (one row per technique).
+
+    ``key_header`` names the first column (the row-label column); the
+    remaining header cells are the sweep keys.
+    """
     with Path(path).open("w", newline="") as fh:
         writer = csv.writer(fh)
-        writer.writerow(["technique"] + [str(k) for k in keys])
+        writer.writerow([key_header] + [str(k) for k in keys])
         for name, values in series.items():
             writer.writerow([name] + [repr(float(v)) for v in values])
+
+
+def read_csv_series(
+    path: str | Path,
+) -> tuple[dict[str, list[float]], list[str], str]:
+    """Read a :func:`write_csv` file back: (series, keys, key_header).
+
+    Keys come back as the strings of the header row (``write_csv``
+    stringifies them); values round-trip exactly because ``write_csv``
+    writes ``repr(float)``.
+    """
+    with Path(path).open(newline="") as fh:
+        rows = list(csv.reader(fh))
+    if not rows or len(rows[0]) < 2:
+        raise ValueError(f"{path}: not a series CSV (no header row)")
+    header = rows[0]
+    series = {row[0]: [float(v) for v in row[1:]] for row in rows[1:]}
+    return series, header[1:], header[0]
 
 
 def series_to_csv_text(series: Mapping[str, Sequence[float]],

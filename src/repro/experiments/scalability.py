@@ -14,9 +14,9 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..backends import get_backend
 from ..core.params import SchedulingParams
-from ..core.registry import get_technique
-from ..directsim import DirectSimulator, OverheadModel
+from ..directsim import OverheadModel
 from ..workloads.distributions import ExponentialWorkload, Workload
 
 
@@ -41,6 +41,7 @@ def run_scaling_study(
     workload: Workload | None = None,
     runs: int = 5,
     seed: int = 2012,
+    simulator: str = "direct",
 ) -> ScalingResult:
     """Run a strong- or weak-scaling sweep on the direct simulator.
 
@@ -49,9 +50,16 @@ def run_scaling_study(
     The SERIALIZED_MASTER overhead model is used so scheduling operations
     contend at the master — the contention that actually limits SS's
     scalability; post-hoc accounting would make SS look free.
+
+    Runs execute through :class:`~repro.experiments.runner.RunTask`
+    (per-run integer seeds reproduce the historical direct-call
+    outputs), so an active result cache serves repeats.
     """
+    from .runner import RunTask
+
     if mode not in ("strong", "weak"):
         raise ValueError(f"mode must be 'strong' or 'weak', got {mode!r}")
+    get_backend(simulator)  # fail fast on unknown backends
     workload = workload or ExponentialWorkload(1.0)
     result = ScalingResult(
         mode=mode,
@@ -68,13 +76,15 @@ def run_scaling_study(
                 n=n, p=p, h=h, mu=workload.mean,
                 sigma=workload.std,
             )
-            sim = DirectSimulator(
-                params, workload,
-                overhead_model=OverheadModel.SERIALIZED_MASTER,
-            )
-            cls = get_technique(technique)
             samples = [
-                sim.run(cls, seed=seed * 1000 + p * 10 + i)
+                RunTask(
+                    technique=technique,
+                    params=params,
+                    workload=workload,
+                    simulator=simulator,
+                    overhead_model=OverheadModel.SERIALIZED_MASTER,
+                    seed_entropy=(seed * 1000 + p * 10 + i,),
+                ).execute()
                 for i in range(runs)
             ]
             effs.append(statistics.mean(r.efficiency for r in samples))

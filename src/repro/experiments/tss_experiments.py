@@ -23,9 +23,7 @@ from typing import Sequence
 
 from ..backends import get_backend
 from ..core.params import SchedulingParams
-from ..core.registry import get_technique
 from ..metrics.speedup import TzenNiMetrics, tzen_ni_metrics
-from ..simgrid.masterworker import MasterWorkerSimulation
 from ..simgrid.platform import Platform, star_platform
 from ..workloads.distributions import ConstantWorkload
 
@@ -215,22 +213,32 @@ def run_remote_ratio_study(
     technique: str = "tss",
     latency: float = BBN_LATENCY,
     seed: int = 1993,
+    simulator: str = "msg",
 ) -> dict[float, float]:
     """Speedup versus remote memory reference ratio (TSS pub., Sec. V).
 
     Speedup is measured against the *local* serial execution
     (``n * task_time``), so it degrades as remote references inflate the
-    parallel compute time.  Returns ratio -> speedup.
+    parallel compute time.  Returns ratio -> speedup.  Runs execute
+    through :class:`~repro.experiments.runner.RunTask`, so an active
+    result cache serves repeats.
     """
+    from .runner import RunTask
+
+    get_backend(simulator)  # fail fast on unknown backends
     platform = bbn_gp1000_platform(p, latency=latency)
     out: dict[float, float] = {}
     for ratio in ratios:
         factor = remote_access_slowdown(ratio, p)
-        workload = ConstantWorkload(task_time * factor)
-        params = SchedulingParams(n=n, p=p, h=0.0)
-        sim = MasterWorkerSimulation(params, workload, platform=platform)
-        run = sim.run(get_technique(technique), seed=seed)
-        out[ratio] = (n * task_time) / run.makespan
+        task = RunTask(
+            technique=technique,
+            params=SchedulingParams(n=n, p=p, h=0.0),
+            workload=ConstantWorkload(task_time * factor),
+            simulator=simulator,
+            platform=platform,
+            seed_entropy=(seed,),
+        )
+        out[ratio] = (n * task_time) / task.execute().makespan
     return out
 
 
@@ -241,6 +249,7 @@ def run_css_k_sweep(
     task_time: float = 110e-6,
     latency: float = BBN_LATENCY,
     seed: int = 1993,
+    simulator: str = "msg",
 ) -> dict[int, float]:
     """CSS(k) speedup versus chunk size (the TSS publication's tuning).
 
@@ -249,17 +258,27 @@ def run_css_k_sweep(
     achieves speedup 69.2, "very close to the ideal speedup, 72".  The
     sweep shows the two failure directions: tiny ``k`` degenerates to SS
     (overhead bound), huge ``k`` to STAT-with-fewer-chunks (imbalance
-    from the final partial chunks).  Returns k -> speedup.
+    from the final partial chunks).  Returns k -> speedup.  Runs execute
+    through :class:`~repro.experiments.runner.RunTask`, so an active
+    result cache serves repeats.
     """
+    from .runner import RunTask
+
+    get_backend(simulator)  # fail fast on unknown backends
     workload = ConstantWorkload(task_time)
     platform = bbn_gp1000_platform(p, latency=latency)
     out: dict[int, float] = {}
     for k in k_values:
-        params = SchedulingParams(n=n, p=p, h=0.0, chunk_size=k)
-        sim = MasterWorkerSimulation(params, workload, platform=platform)
-        factory = lambda pr, kk=k: get_technique("css")(pr, k=kk)
-        run = sim.run(factory, seed=seed)
-        out[k] = tzen_ni_metrics(run).speedup
+        task = RunTask(
+            technique="css",
+            params=SchedulingParams(n=n, p=p, h=0.0, chunk_size=k),
+            workload=workload,
+            simulator=simulator,
+            platform=platform,
+            technique_kwargs={"k": k},
+            seed_entropy=(seed,),
+        )
+        out[k] = tzen_ni_metrics(task.execute()).speedup
     return out
 
 
@@ -301,6 +320,7 @@ def run_tss_workload_study(
     p: int = 64,
     latency: float = BBN_LATENCY,
     seed: int = 1993,
+    simulator: str = "msg",
 ) -> dict[str, dict[str, float]]:
     """Speedups of the five techniques across the four workload shapes.
 
@@ -309,7 +329,12 @@ def run_tss_workload_study(
     qualitative finding that TSS stays near-ideal across shapes while
     GSS suffers on decreasing workloads (its huge early chunks contain
     the longest iterations).  Returns shape -> technique -> speedup.
+    Runs execute through :class:`~repro.experiments.runner.RunTask`, so
+    an active result cache serves repeats.
     """
+    from .runner import RunTask
+
+    get_backend(simulator)  # fail fast on unknown backends
     spec = TSS_EXPERIMENTS[experiment]
     out: dict[str, dict[str, float]] = {}
     platform = bbn_gp1000_platform(p, latency=latency)
@@ -317,11 +342,16 @@ def run_tss_workload_study(
         workload = tss_workload(shape, spec["n"], spec["task_time"])
         row: dict[str, float] = {}
         for label, name, kwargs in tss_technique_set(experiment):
-            params = SchedulingParams(n=spec["n"], p=p, h=0.0)
-            sim = MasterWorkerSimulation(params, workload, platform=platform)
-            factory = lambda pr, nm=name, kw=kwargs: get_technique(nm)(pr, **kw)
-            run = sim.run(factory, seed=seed)
-            row[label] = tzen_ni_metrics(run).speedup
+            task = RunTask(
+                technique=name,
+                params=SchedulingParams(n=spec["n"], p=p, h=0.0),
+                workload=workload,
+                simulator=simulator,
+                platform=platform,
+                technique_kwargs=dict(kwargs),
+                seed_entropy=(seed,),
+            )
+            row[label] = tzen_ni_metrics(task.execute()).speedup
         out[shape] = row
     return out
 

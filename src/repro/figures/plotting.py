@@ -1,0 +1,142 @@
+"""Optional-matplotlib rendering of registry artifacts.
+
+The pipeline emits CSV + text renderings unconditionally; this module
+adds PNG plots *when matplotlib is importable* and degrades to the text
+rendering otherwise — the container this repo grew in has no matplotlib,
+so the degradation path is the one under test.  :func:`plot_available`
+answers which path a run will take, and the per-artifact manifest
+records the mode actually used (``plot: png|text|none``).
+
+Colors follow a fixed categorical order (assigned by series position,
+never cycled): the eight-slot palette validated for adjacent-pair
+colorblind separation.  Tables are not charts and are never plotted.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .registry import ArtifactData, ArtifactSpec
+
+__all__ = ["CATEGORICAL", "SURFACE", "plot_artifact", "plot_available"]
+
+#: fixed-order categorical palette (light mode); slot order is the
+#: CVD-safety mechanism — never reorder, never cycle
+CATEGORICAL = (
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+)
+SURFACE = "#fcfcfb"
+_GRID = "#e1e0d9"
+_INK = "#0b0b0b"
+_MUTED = "#898781"
+#: sequential blue ramp step for single-hue histograms
+_SEQ_FILL = "#6da7ec"
+_SEQ_EDGE = "#1c5cab"
+
+
+def plot_available() -> bool:
+    """True when matplotlib is importable (PNG rendering possible)."""
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _styled_axes(plt, title: str):
+    fig, ax = plt.subplots(figsize=(7, 4.5), dpi=120)
+    fig.patch.set_facecolor(SURFACE)
+    ax.set_facecolor(SURFACE)
+    ax.set_title(title, color=_INK, fontsize=11)
+    ax.grid(True, color=_GRID, linewidth=0.6, zorder=0)
+    for spine in ("top", "right"):
+        ax.spines[spine].set_visible(False)
+    for spine in ("left", "bottom"):
+        ax.spines[spine].set_color(_MUTED)
+    ax.tick_params(colors=_MUTED, labelsize=8)
+    return fig, ax
+
+
+def _plot_lines(plt, spec: "ArtifactSpec", data: "ArtifactData", path):
+    fig, ax = _styled_axes(plt, spec.title)
+    x = list(range(len(data.keys)))
+    for i, (name, values) in enumerate(data.series.items()):
+        color = CATEGORICAL[i % len(CATEGORICAL)]
+        ax.plot(x, values, color=color, linewidth=2, marker="o",
+                markersize=5, label=name, zorder=3)
+    ax.set_xticks(x)
+    ax.set_xticklabels([str(k) for k in data.keys])
+    ax.set_xlabel(data.key_header, color=_MUTED, fontsize=9)
+    if len(data.series) >= 2:
+        ax.legend(fontsize=8, frameon=False, labelcolor=_INK)
+    fig.savefig(path, bbox_inches="tight", facecolor=SURFACE)
+    plt.close(fig)
+
+
+def _plot_hist(plt, spec: "ArtifactSpec", data: "ArtifactData", path):
+    fig, ax = _styled_axes(plt, spec.title)
+    per_run = data.extra.get("per_run", [])
+    ax.hist(per_run, bins=24, color=_SEQ_FILL, edgecolor=_SEQ_EDGE,
+            linewidth=0.8, zorder=3)
+    threshold = data.extra.get("threshold")
+    if threshold is not None:
+        ax.axvline(threshold, color=_MUTED, linewidth=1,
+                   linestyle="--", zorder=4)
+    ax.set_yscale("log")
+    ax.set_xlabel("average wasted time [s]", color=_MUTED, fontsize=9)
+    fig.savefig(path, bbox_inches="tight", facecolor=SURFACE)
+    plt.close(fig)
+
+
+def _plot_bars(plt, spec: "ArtifactSpec", data: "ArtifactData", path):
+    fig, ax = _styled_axes(plt, spec.title)
+    names = list(data.series)
+    groups = len(data.keys)
+    width = 0.8 / max(1, len(names))
+    for i, name in enumerate(names):
+        color = CATEGORICAL[i % len(CATEGORICAL)]
+        xs = [g + i * width for g in range(groups)]
+        ax.bar(xs, data.series[name], width=width * 0.9, color=color,
+               label=name, zorder=3)
+    ax.set_xticks([g + 0.4 - width / 2 for g in range(groups)])
+    ax.set_xticklabels([str(k) for k in data.keys], fontsize=8)
+    ax.set_xlabel(data.key_header, color=_MUTED, fontsize=9)
+    if len(names) >= 2:
+        ax.legend(fontsize=8, frameon=False, labelcolor=_INK)
+    fig.savefig(path, bbox_inches="tight", facecolor=SURFACE)
+    plt.close(fig)
+
+
+def plot_artifact(spec: "ArtifactSpec", data: "ArtifactData",
+                  path: str | Path) -> str:
+    """Render one artifact's plot; returns the mode actually used.
+
+    ``"png"`` — wrote ``path``; ``"text"`` — matplotlib is absent, the
+    pipeline's text rendering stands in; ``"none"`` — the artifact is a
+    table and is deliberately not plotted.
+    """
+    if spec.kind == "table":
+        return "none"
+    if not plot_available():
+        return "text"
+    import matplotlib
+
+    matplotlib.use("Agg")  # headless: never require a display
+    import matplotlib.pyplot as plt
+
+    if spec.kind == "hist":
+        _plot_hist(plt, spec, data, path)
+    elif spec.kind == "bars":
+        _plot_bars(plt, spec, data, path)
+    else:
+        _plot_lines(plt, spec, data, path)
+    return "png"

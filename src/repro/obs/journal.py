@@ -32,6 +32,12 @@ Record schema (see ``docs/observability.md`` for the full table):
     one result-cache event (:mod:`repro.cache`); hits carry
     ``saved_wall_s`` (the host-seconds the stored computation cost) and
     stores carry ``bytes`` and ``wall_time_s``.
+``{"kind": "advise", "best": ..., "techniques": ..., "fallbacks": ...,
+"cache_hits": ..., "cache_misses": ..., "elapsed_s": ...}``
+    one advisor query (:mod:`repro.serve`), plus the request fields.
+``{"kind": "artifact", "artifact": ..., "mode": ..., "files": [...],
+"fallbacks": ..., "cache": {...}, "plot": ..., "elapsed_s": ...}``
+    one artifact emitted by the figure pipeline (:mod:`repro.figures`).
 
 Every record additionally carries ``t_s`` — seconds since the journal
 opened — which lets ``repro-dls trace-export`` reconstruct a campaign

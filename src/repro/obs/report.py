@@ -5,12 +5,15 @@ the questions an auditor asks first: what environment produced the runs,
 how fast was each backend (events per host second), which tasks
 dominated the wall time (with a wall-time histogram), and which
 requested backends silently — no longer silently — degraded to a
-fallback.
+fallback.  Journals written by the figure pipeline (``artifact``
+records) and the advisor service (``advise`` records: query counts,
+p50/p95 latency, cache-hit share) get their own sections.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Sequence
 
@@ -170,6 +173,62 @@ def summarize_journal(
                 f"— {agg['lost_chunks']} chunk(s) lost to faults "
                 f"({agg['lost_tasks']} task(s) requeued)"
             )
+
+    artifacts = [r for r in records if r.get("kind") == "artifact"]
+    if artifacts:
+        total_files = sum(len(r.get("files", [])) for r in artifacts)
+        total_fb = sum(r.get("fallbacks", 0) for r in artifacts)
+        total_s = sum(r.get("elapsed_s", 0.0) for r in artifacts)
+        lines.append("")
+        lines.append(
+            f"figure pipeline: {len(artifacts)} artifact(s), "
+            f"{total_files} file(s) emitted in {total_s:.2f}s, "
+            f"{total_fb} fallback(s)"
+        )
+        slowest_artifacts = sorted(
+            artifacts, key=lambda r: r.get("elapsed_s", 0.0), reverse=True
+        )[:top]
+        for record in slowest_artifacts:
+            lines.append(
+                f"  {record.get('artifact', '?'):<14s} "
+                f"{record.get('mode', '?'):<6s} "
+                f"{record.get('elapsed_s', 0.0):>8.3f}s "
+                f"(plot={record.get('plot', '?')})"
+            )
+
+    advises = [r for r in records if r.get("kind") == "advise"]
+    if advises:
+        latencies = sorted(r.get("elapsed_s", 0.0) for r in advises)
+
+        def pct(fraction: float) -> float:
+            # nearest-rank percentile: p95 of 3 samples is the max
+            rank = math.ceil(fraction * len(latencies))
+            return latencies[max(0, min(len(latencies), rank) - 1)]
+
+        hits = sum(r.get("cache_hits", 0) for r in advises)
+        misses = sum(r.get("cache_misses", 0) for r in advises)
+        lookups = hits + misses
+        hit_share = 100.0 * hits / lookups if lookups else 0.0
+        best_counts: dict[str, int] = {}
+        for record in advises:
+            best = record.get("best", "?")
+            best_counts[best] = best_counts.get(best, 0) + 1
+        favorite = max(best_counts, key=best_counts.get)  # type: ignore[arg-type]
+        lines.append("")
+        lines.append(
+            f"advisor: {len(advises)} quer(y/ies) — latency "
+            f"p50 {pct(0.50):.3f}s, p95 {pct(0.95):.3f}s; "
+            f"cache-hit share {hit_share:.1f}% "
+            f"({hits}/{lookups} lookup(s))"
+        )
+        lines.append(
+            "  most recommended: " + ", ".join(
+                f"{name} x{count}" for name, count in sorted(
+                    best_counts.items(), key=lambda kv: (-kv[1], kv[0])
+                )[:top]
+            )
+            + (f" (favorite: {favorite})" if len(best_counts) > 1 else "")
+        )
 
     progress = [r for r in records if r.get("kind") == "progress"]
     if progress:

@@ -243,6 +243,23 @@ class TestStatsSummary:
         text = summarize_journal([{"kind": "provenance"}])
         assert "fallbacks" not in text
 
+    def test_summary_advise_section_percentiles_and_hit_share(self):
+        records = [
+            {"kind": "advise", "best": "fac2", "elapsed_s": 0.004,
+             "cache_hits": 8, "cache_misses": 0},
+            {"kind": "advise", "best": "fac2", "elapsed_s": 0.021,
+             "cache_hits": 8, "cache_misses": 0},
+            {"kind": "advise", "best": "gss", "elapsed_s": 0.350,
+             "cache_hits": 0, "cache_misses": 8},
+        ]
+        text = summarize_journal(records)
+        # nearest-rank percentiles: p95 of three samples is the max
+        assert "p50 0.021s" in text
+        assert "p95 0.350s" in text
+        assert "cache-hit share 66.7%" in text
+        assert "fac2 x2" in text
+        assert "favorite: fac2" in text
+
 
 class TestProvenance:
     def test_capture_provenance_fields(self, monkeypatch):
